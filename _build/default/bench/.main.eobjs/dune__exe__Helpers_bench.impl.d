@@ -1,0 +1,1 @@
+bench/helpers_bench.ml: Coord Fpva Fpva_grid

@@ -1,0 +1,20 @@
+(* Small layouts used only by the benchmark harness. *)
+
+open Fpva_grid
+
+let small_layout rows cols =
+  let t = Fpva.create ~rows ~cols in
+  Fpva.add_port t { Fpva.side = Coord.West; offset = 0; kind = Fpva.Source };
+  Fpva.add_port t
+    { Fpva.side = Coord.East; offset = rows - 1; kind = Fpva.Sink };
+  t
+
+(* A 3x3 array whose south-east corner forms a tempting disjoint loop for
+   the loop-exclusion ablation: the direct route is short, so leftover
+   required weight sits on a cycle the unconstrained ILP can "cover" with a
+   disconnected loop. *)
+let ring_layout () =
+  let t = Fpva.create ~rows:3 ~cols:3 in
+  Fpva.add_port t { Fpva.side = Coord.North; offset = 0; kind = Fpva.Source };
+  Fpva.add_port t { Fpva.side = Coord.West; offset = 0; kind = Fpva.Sink };
+  t

@@ -1,0 +1,299 @@
+(* fpva — command-line front end for FPVA test generation.
+
+   Subcommands:
+     show      render a layout
+     generate  build the full test suite for a layout, optionally rendering
+               the flow paths / cut-sets
+     campaign  generate a suite and run a random fault-injection campaign *)
+
+open Cmdliner
+open Fpva_grid
+open Fpva_testgen
+
+(* ---------- layout selection ---------- *)
+
+let make_layout name rows cols =
+  match name with
+  | "full" -> Ok (Layouts.full ~rows ~cols)
+  | "paper" ->
+    if rows <> cols then Error "paper layout requires a square array"
+    else Ok (Layouts.paper_array rows)
+  | "figure8" -> Ok (Layouts.figure8 ())
+  | "figure9" -> Ok (Layouts.figure9 ())
+  | other -> Error (Printf.sprintf "unknown layout %S" other)
+
+let load_layout_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Parse.parse text with
+  | Ok fpva -> (
+    match Fpva.validate fpva with
+    | Ok () -> Ok fpva
+    | Error msg -> Error (Printf.sprintf "%s: invalid layout: %s" path msg))
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let layout_t =
+  let doc = "Layout family: full | paper | figure9." in
+  Arg.(value & opt string "paper" & info [ "layout" ] ~docv:"NAME" ~doc)
+
+let rows_t =
+  let doc = "Number of rows (and columns unless --cols is given)." in
+  Arg.(value & opt int 10 & info [ "n"; "rows" ] ~docv:"N" ~doc)
+
+let cols_t =
+  let doc = "Number of columns (defaults to --rows)." in
+  Arg.(value & opt (some int) None & info [ "cols" ] ~docv:"N" ~doc)
+
+let file_t =
+  let doc = "Read the layout from an ASCII file (same format as `show` \
+             prints) instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "layout-file" ] ~docv:"FILE" ~doc)
+
+let resolve_layout ~file name rows cols =
+  let result =
+    match file with
+    | Some path -> load_layout_file path
+    | None ->
+      let cols = Option.value cols ~default:rows in
+      make_layout name rows cols
+  in
+  match result with
+  | Ok fpva -> fpva
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 2
+
+(* ---------- show ---------- *)
+
+let show_cmd =
+  let run name rows cols file =
+    let fpva = resolve_layout ~file name rows cols in
+    Printf.printf "%dx%d array, %d valves, %d ports\n\n" (Fpva.rows fpva)
+      (Fpva.cols fpva) (Fpva.num_valves fpva)
+      (Array.length (Fpva.ports fpva));
+    print_endline (Render.plain fpva)
+  in
+  let term = Term.(const run $ layout_t $ rows_t $ cols_t $ file_t) in
+  Cmd.v (Cmd.info "show" ~doc:"Render an FPVA layout as ASCII art.") term
+
+(* ---------- generate ---------- *)
+
+let direct_t =
+  let doc = "Use the direct (non-hierarchical) flow-path model." in
+  Arg.(value & flag & info [ "direct" ] ~doc)
+
+let block_t =
+  let doc = "Subblock dimension for the hierarchical model." in
+  Arg.(value & opt int 5 & info [ "block" ] ~docv:"B" ~doc)
+
+let no_leak_t =
+  let doc = "Skip control-leakage vector generation." in
+  Arg.(value & flag & info [ "no-leakage" ] ~doc)
+
+let routing_t =
+  let doc =
+    "Control-layer routing for leakage pairs: fluid | row | column."
+  in
+  Arg.(value & opt string "fluid" & info [ "routing" ] ~docv:"R" ~doc)
+
+let routing_of = function
+  | "fluid" -> Control.Fluid_adjacency
+  | "row" -> Control.Row_manifold
+  | "column" | "col" -> Control.Column_manifold
+  | other ->
+    prerr_endline (Printf.sprintf "error: unknown routing %S" other);
+    exit 2
+
+let render_t =
+  let doc = "Render the flow paths (and each cut-set) after generating." in
+  Arg.(value & flag & info [ "render" ] ~doc)
+
+let config_of ?(routing = "fluid") ~direct ~block ~no_leak () =
+  { Pipeline.default_config with
+    Pipeline.hierarchical = not direct;
+    block_rows = block;
+    block_cols = block;
+    include_leakage = not no_leak;
+    leak_routing = routing_of routing }
+
+let output_t =
+  let doc = "Write the generated suite to FILE (fpva-suite format)." in
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+
+let sequence_t =
+  let doc = "Reorder the vectors to minimise valve switching and report \
+             the saving." in
+  Arg.(value & flag & info [ "sequence" ] ~doc)
+
+let generate_cmd =
+  let run name rows cols file direct block no_leak routing render sequence
+      output =
+    let fpva = resolve_layout ~file name rows cols in
+    let config = config_of ~routing ~direct ~block ~no_leak () in
+    let result = Pipeline.run ~config fpva in
+    print_endline (Report.summary result);
+    if not (Pipeline.suite_ok result) then
+      print_endline "WARNING: suite failed self-checks";
+    if sequence then begin
+      let before, after =
+        Sequencer.improvement fpva result.Pipeline.vectors
+      in
+      Printf.printf
+        "switching cost: %d actuations in generation order, %d after \
+         reordering (%.0f%% saved)\n"
+        before after
+        (100.0 *. float_of_int (before - after) /. float_of_int (max before 1))
+    end;
+    (match output with
+    | Some path ->
+      Suite_io.write_file path fpva result.Pipeline.vectors;
+      Printf.printf "suite written to %s\n" path
+    | None -> ());
+    if render then begin
+      print_endline "\nFlow paths (digit = 1-based path index mod 10):";
+      print_endline (Report.render_flow_paths fpva result.Pipeline.flow);
+      List.iteri
+        (fun i cut ->
+          Printf.printf "\nCut-set %d:\n" (i + 1);
+          print_endline (Report.render_cut fpva cut))
+        result.Pipeline.cuts
+    end
+  in
+  let term =
+    Term.(
+      const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
+      $ no_leak_t $ routing_t $ render_t $ sequence_t $ output_t)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate the complete test-vector suite.")
+    term
+
+(* ---------- campaign ---------- *)
+
+let trials_t =
+  let doc = "Trials per fault count." in
+  Arg.(value & opt int 10_000 & info [ "trials" ] ~docv:"K" ~doc)
+
+let seed_t =
+  let doc = "Campaign RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc)
+
+let max_faults_t =
+  let doc = "Inject 1..M simultaneous faults." in
+  Arg.(value & opt int 5 & info [ "max-faults" ] ~docv:"M" ~doc)
+
+let campaign_cmd =
+  let run name rows cols direct block no_leak trials seed max_faults =
+    let fpva = resolve_layout ~file:None name rows cols in
+    let config = config_of ~direct ~block ~no_leak () in
+    let result = Pipeline.run ~config fpva in
+    print_endline (Report.summary result);
+    let campaign_config =
+      { Fpva_sim.Campaign.default_config with
+        Fpva_sim.Campaign.trials;
+        seed;
+        fault_counts = List.init max_faults (fun i -> i + 1) }
+    in
+    let r =
+      Fpva_sim.Campaign.run ~config:campaign_config fpva
+        ~vectors:result.Pipeline.vectors
+    in
+    Format.printf "%a@?" Fpva_sim.Campaign.pp_result r
+  in
+  let term =
+    Term.(
+      const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
+      $ trials_t $ seed_t $ max_faults_t)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Generate a suite and run a random fault-injection campaign.")
+    term
+
+(* ---------- diagnose ---------- *)
+
+let inject_t =
+  let doc = "Fault to inject and diagnose: sa0:ID, sa1:ID or leak:A,B." in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+
+let parse_fault spec =
+  match String.split_on_char ':' spec with
+  | [ "sa0"; v ] -> Ok (Fpva_sim.Fault.Stuck_at_0 (int_of_string v))
+  | [ "sa1"; v ] -> Ok (Fpva_sim.Fault.Stuck_at_1 (int_of_string v))
+  | [ "leak"; ab ] -> (
+    match String.split_on_char ',' ab with
+    | [ a; b ] ->
+      Ok (Fpva_sim.Fault.Control_leak (int_of_string a, int_of_string b))
+    | _ -> Error "leak takes A,B")
+  | _ -> Error "expected sa0:ID, sa1:ID or leak:A,B"
+
+let diagnose_cmd =
+  let run name rows cols file direct block no_leak inject =
+    let fpva = resolve_layout ~file name rows cols in
+    let config = config_of ~direct ~block ~no_leak () in
+    let result = Pipeline.run ~config fpva in
+    print_endline (Report.summary result);
+    let faults = Fpva_sim.Diagnosis.single_faults fpva in
+    let dict =
+      Fpva_sim.Diagnosis.build fpva ~vectors:result.Pipeline.vectors ~faults
+    in
+    let classes = Fpva_sim.Diagnosis.equivalence_classes dict in
+    Printf.printf
+      "diagnostic dictionary: %d single faults, %d distinguishable classes \
+       (resolution %.2f)\n"
+      (List.length faults) (List.length classes)
+      (Fpva_sim.Diagnosis.resolution dict);
+    match inject with
+    | None -> ()
+    | Some spec -> (
+      match parse_fault spec with
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2
+      | Ok fault ->
+        let observed =
+          Fpva_sim.Diagnosis.syndrome_of fpva ~vectors:result.Pipeline.vectors
+            ~faults:[ fault ]
+        in
+        let failing =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 observed
+        in
+        Printf.printf "injected %s: %d/%d vectors fail\n"
+          (Fpva_sim.Fault.to_string fault)
+          failing (List.length result.Pipeline.vectors);
+        let candidates = Fpva_sim.Diagnosis.diagnose dict observed in
+        if candidates = [] then
+          print_endline
+            "no single-fault candidate matches (multi-fault or out of model)"
+        else begin
+          Printf.printf "candidates:";
+          List.iter
+            (fun f -> Printf.printf " %s" (Fpva_sim.Fault.to_string f))
+            candidates;
+          print_newline ()
+        end)
+  in
+  let term =
+    Term.(
+      const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
+      $ no_leak_t $ inject_t)
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Build a diagnostic dictionary for the suite; optionally inject a \
+          fault and list the consistent candidates.")
+    term
+
+let () =
+  let info =
+    Cmd.info "fpva" ~version:"1.0.0"
+      ~doc:"Test generation for microfluidic fully programmable valve arrays."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ show_cmd; generate_cmd; campaign_cmd; diagnose_cmd ]))

@@ -1,0 +1,1 @@
+examples/diagnosis_session.ml: Array Diagnosis Fault Flow_path Fpva Fpva_grid Fpva_sim Fpva_testgen Layouts List Option Path_search Pipeline Printf Problem Report Simulator String Test_vector

@@ -1,0 +1,1 @@
+examples/fault_campaign.ml: Campaign Fault Format Fpva_grid Fpva_sim Fpva_testgen Layouts List Pipeline Printf Report Simulator String

@@ -1,0 +1,1 @@
+examples/irregular_array.ml: Coord Cut_set Flow_path Fpva Fpva_grid Fpva_testgen Layouts List Pipeline Printf Render Report

@@ -1,0 +1,1 @@
+examples/mixer_region.ml: Array Coord Device Fpva_app Fpva_grid Fpva_sim Fpva_testgen Layouts List Pipeline Printf Report Test_vector Transport

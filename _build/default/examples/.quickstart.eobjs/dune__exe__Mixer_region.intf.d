@@ -1,0 +1,1 @@
+examples/mixer_region.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Campaign Fault Format Fpva Fpva_grid Fpva_sim Fpva_testgen Layouts List Pipeline Printf Render Report Simulator Test_vector

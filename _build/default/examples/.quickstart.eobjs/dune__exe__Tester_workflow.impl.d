@@ -1,0 +1,1 @@
+examples/tester_workflow.ml: Filename Fpva_grid Fpva_sim Fpva_testgen Layouts List Pipeline Printf Report Sequencer Suite_io Sys Test_vector

@@ -1,0 +1,1 @@
+examples/tester_workflow.mli:

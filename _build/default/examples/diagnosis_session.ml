@@ -1,0 +1,125 @@
+(* Diagnosing a defective chip.
+
+   Detection answers "is the chip good?"; for yield learning and repair the
+   lab wants "which valve is broken?".  This example builds the diagnostic
+   dictionary for a generated suite, injects an unknown fault, narrows it
+   down from the observed syndrome, and — when the suite alone cannot
+   separate the remaining candidates — generates additional distinguishing
+   probes on the fly (adaptive diagnosis).
+
+   Run with:  dune exec examples/diagnosis_session.exe *)
+
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+
+let () =
+  let fpva = Layouts.paper_array 10 in
+  let suite = Pipeline.run fpva in
+  Printf.printf "%s\n\n" (Report.summary suite);
+
+  let universe = Diagnosis.single_faults fpva in
+  let dict = Diagnosis.build fpva ~vectors:suite.Pipeline.vectors ~faults:universe in
+  Printf.printf
+    "dictionary: %d candidate faults, %d distinguishable classes, resolution \
+     %.2f\n\n"
+    (List.length universe)
+    (List.length (Diagnosis.equivalence_classes dict))
+    (Diagnosis.resolution dict);
+
+  (* The "defective chip" the tester receives — unknown to the algorithm.
+     Pick a fault the production suite cannot fully resolve (a class with
+     several members), so the adaptive step has work to do. *)
+  let ambiguous =
+    List.find_map
+      (fun cls -> if List.length cls >= 3 then Some (List.hd cls) else None)
+      (Diagnosis.equivalence_classes dict)
+  in
+  let secret =
+    [ Option.value ambiguous ~default:(Fault.Stuck_at_1 42) ]
+  in
+  Printf.printf "(secretly injected: %s)\n\n"
+    (String.concat ", " (List.map Fault.to_string secret));
+
+  (* Step 1: apply the production suite, read the syndrome. *)
+  let observed =
+    Diagnosis.syndrome_of fpva ~vectors:suite.Pipeline.vectors ~faults:secret
+  in
+  let failing =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 observed
+  in
+  Printf.printf "production test: %d/%d vectors fail\n" failing
+    (List.length suite.Pipeline.vectors);
+
+  let candidates = ref (Diagnosis.diagnose dict observed) in
+  Printf.printf "dictionary lookup: %d candidates: %s\n"
+    (List.length !candidates)
+    (String.concat ", " (List.map Fault.to_string !candidates));
+
+  (* Step 2: adaptive refinement — while several candidates remain, apply a
+     vector that splits them.  A targeted pierced/flow probe for one
+     candidate always exists (the valves are testable), so the loop
+     terminates with at most |candidates| - 1 extra vectors. *)
+  let extra = ref 0 in
+  let probe_for fault =
+    (* reuse the baseline machinery: one path through the suspect valve *)
+    match Fault.valves_involved fault with
+    | v :: _ -> (
+      let prob, mapping = Flow_path.problem fpva in
+      let weight = Array.make prob.Problem.num_edges 0.0 in
+      (match Flow_path.edge_id_of_mapping mapping (Fpva.edge_of_valve fpva v) with
+      | Some e -> weight.(e) <- 1000.0
+      | None -> ());
+      match Path_search.find prob ~weight with
+      | Some p ->
+        let path = Flow_path.of_problem_path fpva mapping p in
+        if List.mem v path.Flow_path.valve_ids then
+          Some
+            (match fault with
+            | Fault.Stuck_at_0 _ -> Test_vector.of_flow_path fpva path
+            | Fault.Stuck_at_1 _ | Fault.Control_leak _ ->
+              Test_vector.of_pierced_path fpva path v)
+        else None
+      | None -> None)
+    | [] -> None
+  in
+  let rec refine () =
+    match !candidates with
+    | [] | [ _ ] -> ()
+    | c1 :: rest ->
+      let splitter =
+        (* prefer a probe that reacts differently on c1 vs some other *)
+        List.find_map
+          (fun c2 ->
+            match probe_for c1 with
+            | Some v
+              when Simulator.detects fpva ~faults:[ c1 ] v
+                   <> Simulator.detects fpva ~faults:[ c2 ] v ->
+              Some v
+            | Some _ | None -> probe_for c2)
+          rest
+      in
+      (match splitter with
+      | None -> ()
+      | Some v ->
+        incr extra;
+        let outcome = Simulator.detects fpva ~faults:secret v in
+        candidates :=
+          List.filter
+            (fun c -> Simulator.detects fpva ~faults:[ c ] v = outcome)
+            !candidates;
+        Printf.printf
+          "adaptive probe %d (%s): %s -> %d candidates remain\n" !extra
+          v.Test_vector.label
+          (if outcome then "FAIL" else "pass")
+          (List.length !candidates);
+        refine ())
+  in
+  refine ();
+
+  Printf.printf "\nfinal diagnosis after %d adaptive probes: %s\n" !extra
+    (String.concat ", " (List.map Fault.to_string !candidates));
+  let found =
+    List.exists (fun c -> List.exists (Fault.equal c) secret) !candidates
+  in
+  Printf.printf "injected fault among them: %b\n" found

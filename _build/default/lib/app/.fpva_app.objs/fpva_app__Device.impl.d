@@ -1,0 +1,1 @@
+lib/app/device.ml: Array Coord Fpva Fpva_grid Fpva_testgen Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/app/device.mli: Coord Fpva Fpva_grid Fpva_testgen

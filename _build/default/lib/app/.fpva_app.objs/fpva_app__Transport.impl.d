@@ -1,0 +1,1 @@
+lib/app/transport.ml: Array Coord Fpva Fpva_grid Hashtbl List Printf Queue

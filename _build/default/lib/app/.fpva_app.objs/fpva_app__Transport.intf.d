@@ -1,0 +1,1 @@
+lib/app/transport.mli: Coord Fpva Fpva_grid

@@ -1,0 +1,157 @@
+open Fpva_grid
+
+type mixer = { origin : Coord.cell; height : int; width : int }
+
+let ring_cells m =
+  if m.height < 2 || m.width < 2 then invalid_arg "Device.ring_cells";
+  let r0 = m.origin.Coord.row and c0 = m.origin.Coord.col in
+  let top = List.init m.width (fun j -> Coord.cell r0 (c0 + j)) in
+  let right =
+    List.init (m.height - 1) (fun i -> Coord.cell (r0 + 1 + i) (c0 + m.width - 1))
+  in
+  let bottom =
+    List.init (m.width - 1) (fun j ->
+        Coord.cell (r0 + m.height - 1) (c0 + m.width - 2 - j))
+  in
+  let left =
+    List.init (m.height - 2) (fun i -> Coord.cell (r0 + m.height - 2 - i) c0)
+  in
+  top @ right @ bottom @ left
+
+let in_rectangle m (c : Coord.cell) =
+  c.Coord.row >= m.origin.Coord.row
+  && c.Coord.row < m.origin.Coord.row + m.height
+  && c.Coord.col >= m.origin.Coord.col
+  && c.Coord.col < m.origin.Coord.col + m.width
+
+let ring_edges m =
+  let ring = ring_cells m in
+  let rec consecutive = function
+    | a :: (b :: _ as rest) -> Coord.edge_between a b :: consecutive rest
+    | [ last ] -> [ Coord.edge_between last m.origin ]
+    | [] -> []
+  in
+  consecutive ring
+
+let pump_valves fpva m =
+  let check_cell c =
+    if not (Fpva.in_bounds fpva c) then
+      Error (Printf.sprintf "cell %s off chip" (Coord.cell_to_string c))
+    else if Fpva.cell_state fpva c <> Fpva.Fluid then
+      Error (Printf.sprintf "cell %s is an obstacle" (Coord.cell_to_string c))
+    else Ok ()
+  in
+  let rec check_cells = function
+    | [] -> Ok ()
+    | c :: rest -> (
+      match check_cell c with Ok () -> check_cells rest | Error _ as e -> e)
+  in
+  match check_cells (ring_cells m) with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+        match Fpva.valve_id_opt fpva e with
+        | Some v -> collect (v :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf "ring connection %s carries no valve"
+               (Coord.edge_to_string e)))
+    in
+    collect [] (ring_edges m)
+
+(* Connections from a ring cell to any cell outside the ring (exterior or
+   rectangle interior). *)
+let boundary_connections fpva m =
+  let ring = ring_cells m in
+  let on_ring = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace on_ring c ()) ring;
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun d ->
+          let n = Coord.move c d in
+          let e = Coord.edge_towards c d in
+          if Fpva.edge_in_bounds fpva e
+             && (not (Hashtbl.mem on_ring n))
+             && Fpva.in_bounds fpva n
+             && Fpva.cell_state fpva n = Fpva.Fluid
+          then Some e
+          else None)
+        Coord.all_dirs)
+    ring
+
+let guard_valves fpva m =
+  List.filter_map (Fpva.valve_id_opt fpva) (boundary_connections fpva m)
+
+let open_boundary fpva m =
+  List.filter
+    (fun e -> Fpva.edge_state fpva e = Fpva.Open_channel)
+    (boundary_connections fpva m)
+
+let overlaps a b =
+  let any_shared =
+    List.exists (fun c -> in_rectangle b c) (ring_cells a)
+    || List.exists (fun c -> in_rectangle a c) (ring_cells b)
+  in
+  any_shared
+
+let pump_schedule fpva m =
+  match pump_valves fpva m with
+  | Error _ as e -> e
+  | Ok pumps ->
+    let guards = guard_valves fpva m in
+    let nv = Fpva.num_valves fpva in
+    let base = Array.make nv false in
+    List.iter (fun v -> base.(v) <- true) pumps;
+    List.iter (fun v -> base.(v) <- false) guards;
+    (* Three-phase peristalsis: in phase k, every third pump valve is
+       closed; advancing the phase pushes the closed "plug" around the
+       ring, dragging the fluid with it. *)
+    let pumps = Array.of_list pumps in
+    let phases =
+      List.map
+        (fun k ->
+          let states = Array.copy base in
+          Array.iteri
+            (fun i v -> if i mod 3 = k then states.(v) <- false)
+            pumps;
+          states)
+        [ 0; 1; 2 ]
+    in
+    Ok phases
+
+let certified fpva vectors m =
+  match pump_valves fpva m with
+  | Error _ as e -> e
+  | Ok pumps ->
+    let targets = pumps @ guard_valves fpva m in
+    let open_tested v vec =
+      match vec.Fpva_testgen.Test_vector.kind with
+      | Fpva_testgen.Test_vector.Flow p | Fpva_testgen.Test_vector.Leak p ->
+        List.mem v p.Fpva_testgen.Flow_path.valve_ids
+      | Fpva_testgen.Test_vector.Pierced (p, w) ->
+        w <> v && List.mem v p.Fpva_testgen.Flow_path.valve_ids
+      | Fpva_testgen.Test_vector.Cut _ -> false
+    in
+    let closed_tested v vec =
+      match vec.Fpva_testgen.Test_vector.kind with
+      | Fpva_testgen.Test_vector.Cut c ->
+        List.mem v c.Fpva_testgen.Cut_set.valve_ids
+      | Fpva_testgen.Test_vector.Pierced (_, w) -> w = v
+      | Fpva_testgen.Test_vector.Flow _ | Fpva_testgen.Test_vector.Leak _ ->
+        false
+    in
+    let missing =
+      List.filter
+        (fun v ->
+          (not (List.exists (open_tested v) vectors))
+          || not (List.exists (closed_tested v) vectors))
+        targets
+    in
+    if missing = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "valves not fully certified: %s"
+           (String.concat ", " (List.map string_of_int missing)))

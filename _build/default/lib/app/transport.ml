@@ -1,0 +1,103 @@
+open Fpva_grid
+
+type route = { cells : Coord.cell list; valves : int list }
+
+let check_cell fpva name c =
+  if not (Fpva.in_bounds fpva c) then
+    invalid_arg (Printf.sprintf "Transport.plan: %s off chip" name);
+  if Fpva.cell_state fpva c <> Fpva.Fluid then
+    invalid_arg (Printf.sprintf "Transport.plan: %s is an obstacle" name)
+
+let plan ?(avoid = []) fpva ~src ~dst =
+  check_cell fpva "src" src;
+  check_cell fpva "dst" dst;
+  let avoid_set = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace avoid_set c ()) avoid;
+  if Hashtbl.mem avoid_set src || Hashtbl.mem avoid_set dst then None
+  else begin
+    let prev = Hashtbl.create 64 in
+    let seen = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Hashtbl.replace seen src ();
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let c = Queue.pop q in
+      if c = dst then found := true
+      else
+        List.iter
+          (fun d ->
+            let n = Coord.move c d in
+            let e = Coord.edge_towards c d in
+            if Fpva.in_bounds fpva n
+               && Fpva.cell_state fpva n = Fpva.Fluid
+               && Fpva.edge_in_bounds fpva e
+               && Fpva.edge_state fpva e <> Fpva.Wall
+               && (not (Hashtbl.mem avoid_set n))
+               && not (Hashtbl.mem seen n)
+            then begin
+              Hashtbl.replace seen n ();
+              Hashtbl.replace prev n c;
+              Queue.add n q
+            end)
+          Coord.all_dirs
+    done;
+    if not !found then None
+    else begin
+      let rec back acc c =
+        if c = src then c :: acc else back (c :: acc) (Hashtbl.find prev c)
+      in
+      let cells = back [] dst in
+      let rec valves = function
+        | a :: (b :: _ as rest) -> (
+          match Fpva.valve_id_opt fpva (Coord.edge_between a b) with
+          | Some v -> v :: valves rest
+          | None -> valves rest)
+        | [] | [ _ ] -> []
+      in
+      Some { cells; valves = valves cells }
+    end
+  end
+
+let states fpva route =
+  let s = Array.make (Fpva.num_valves fpva) false in
+  List.iter (fun v -> s.(v) <- true) route.valves;
+  s
+
+let isolated fpva route =
+  let s = states fpva route in
+  let open_edge e =
+    match Fpva.valve_id_opt fpva e with
+    | Some vid -> s.(vid)
+    | None -> Fpva.edge_state fpva e = Fpva.Open_channel
+  in
+  let on_route = Hashtbl.create 32 in
+  List.iter (fun c -> Hashtbl.replace on_route c ()) route.cells;
+  (* flood from the route through open connections; any reachable cell off
+     the route is a leak *)
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun c ->
+      Hashtbl.replace seen c ();
+      Queue.add c q)
+    route.cells;
+  let leak = ref false in
+  while (not !leak) && not (Queue.is_empty q) do
+    let c = Queue.pop q in
+    List.iter
+      (fun d ->
+        let n = Coord.move c d in
+        let e = Coord.edge_towards c d in
+        if Fpva.in_bounds fpva n
+           && Fpva.cell_state fpva n = Fpva.Fluid
+           && Fpva.edge_in_bounds fpva e && open_edge e
+           && not (Hashtbl.mem seen n)
+        then begin
+          if not (Hashtbl.mem on_route n) then leak := true;
+          Hashtbl.replace seen n ();
+          Queue.add n q
+        end)
+      Coord.all_dirs
+  done;
+  not !leak

@@ -1,0 +1,41 @@
+(** Fluid transportation on an FPVA.
+
+    "By opening two valves and closing the other two at a crosspoint …
+    the fluid sample stored there can be moved in the intended direction by
+    forming temporary transportation channels" (paper Section I).  This
+    module plans such temporary channels: a simple cell route between two
+    locations, realised as a valve-state assignment that opens exactly the
+    route.
+
+    Routes are shortest paths (BFS) through traversable connections; the
+    {!isolated} check then verifies the watertightness concern that the
+    test generator handles via channel contraction — fluid must not bleed
+    out of the temporary channel through valve-less sites. *)
+
+open Fpva_grid
+
+type route = {
+  cells : Coord.cell list;  (** from source cell to destination cell *)
+  valves : int list;  (** valves to open, in step order *)
+}
+
+val plan :
+  ?avoid:Coord.cell list ->
+  Fpva.t ->
+  src:Coord.cell ->
+  dst:Coord.cell ->
+  route option
+(** A simple route from [src] to [dst] through fluid cells, avoiding the
+    [avoid] cells (e.g. cells held by other reagents or running devices).
+    [None] if the cells are disconnected under the constraints.
+    @raise Invalid_argument if [src]/[dst] are off-chip or obstacles. *)
+
+val states : Fpva.t -> route -> bool array
+(** The valve assignment that forms the temporary channel: the route's
+    valves open, everything else closed. *)
+
+val isolated : Fpva.t -> route -> bool
+(** Under {!states}, is the route watertight?  No cell outside the route
+    (or an avoided cell) is reachable from the route through open
+    connections — i.e. the moved fluid cannot bleed into the rest of the
+    chip through open channels. *)

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Cover Flow_path Fpva Fpva_grid List Path_ilp Path_search Printf Problem Test_vector

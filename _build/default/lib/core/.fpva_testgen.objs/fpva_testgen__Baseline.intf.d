@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Cover Fpva Fpva_grid Test_vector

@@ -1,0 +1,1 @@
+lib/core/cover.ml: Array Fpva_milp List Path_ilp Path_search Problem

@@ -1,0 +1,1 @@
+lib/core/cover.mli: Fpva_milp Path_search Problem

@@ -1,0 +1,1 @@
+lib/core/cut_set.ml: Array Coord Cover Dual Format Fpva Fpva_grid Fpva_util Hashtbl List Path_ilp Path_search Problem

@@ -1,0 +1,1 @@
+lib/core/cut_set.mli: Coord Cover Dual Format Fpva Fpva_grid Problem

@@ -1,0 +1,1 @@
+lib/core/flow_path.ml: Array Coord Cover Format Fpva Fpva_grid Fpva_util Graph Hashtbl List Path_ilp Path_search Problem Queue

@@ -1,0 +1,1 @@
+lib/core/flow_path.mli: Coord Cover Format Fpva Fpva_grid Fpva_milp Problem

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Coord Cover Flow_path Fpva Fpva_grid Fpva_util Hashtbl List Option Path_ilp Path_search Problem Queue

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Coord Cover Flow_path Fpva Fpva_grid

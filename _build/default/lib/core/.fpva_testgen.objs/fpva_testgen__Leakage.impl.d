@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Array Coord Cover Flow_path Fpva Fpva_grid Fpva_util Hashtbl List Path_ilp Path_search Problem

@@ -1,0 +1,1 @@
+lib/core/leakage.mli: Cover Flow_path Fpva Fpva_grid

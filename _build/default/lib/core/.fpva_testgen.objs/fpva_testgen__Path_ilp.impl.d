@@ -1,0 +1,1 @@
+lib/core/path_ilp.ml: Array Fpva_milp List Printf Problem

@@ -1,0 +1,1 @@
+lib/core/path_ilp.mli: Fpva_milp Problem

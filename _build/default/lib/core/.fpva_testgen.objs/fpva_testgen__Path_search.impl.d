@@ -1,0 +1,1 @@
+lib/core/path_search.ml: Array Fpva_util List Problem Queue

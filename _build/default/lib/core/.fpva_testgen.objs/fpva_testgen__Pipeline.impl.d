@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Control Cover Cut_set Either Flow_path Fpva Fpva_grid Fpva_util Hierarchy Leakage List Path_ilp Path_search Printf Problem Test_vector

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Control Cover Cut_set Flow_path Fpva Fpva_grid Test_vector

@@ -1,0 +1,1 @@
+lib/core/report.ml: Baseline Cut_set Flow_path Fpva Fpva_grid Fpva_util List Pipeline Printf Render

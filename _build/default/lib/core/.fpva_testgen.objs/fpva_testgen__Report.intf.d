@@ -1,0 +1,1 @@
+lib/core/report.mli: Cut_set Flow_path Fpva Fpva_grid Fpva_util Pipeline

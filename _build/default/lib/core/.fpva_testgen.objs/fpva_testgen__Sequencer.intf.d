@@ -1,0 +1,1 @@
+lib/core/sequencer.mli: Fpva Fpva_grid Test_vector

@@ -1,0 +1,1 @@
+lib/core/suite_io.ml: Array Buffer Coord Cut_set Flow_path Fpva Fpva_grid Fun List Printf Result Scanf String Test_vector

@@ -1,0 +1,1 @@
+lib/core/suite_io.mli: Fpva Fpva_grid Test_vector

@@ -1,0 +1,1 @@
+lib/core/test_vector.ml: Array Cut_set Flow_path Format Fpva Fpva_grid Graph List Option Printf

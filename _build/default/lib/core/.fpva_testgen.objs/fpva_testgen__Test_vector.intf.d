@@ -1,0 +1,1 @@
+lib/core/test_vector.mli: Cut_set Flow_path Format Fpva Fpva_grid

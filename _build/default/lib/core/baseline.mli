@@ -1,0 +1,25 @@
+(** The paper's baseline comparator (Section IV).
+
+    "Consider a simple baseline method where only one valve is switched
+    open or closed each time for fault test.  The total number of test
+    vectors in this case would be two times the number of valves."
+
+    Per valve [v] this generator emits:
+    - a {e stuck-at-0 probe}: a flow-path vector routed through [v]
+      (detecting that [v] opens), and
+    - a {e stuck-at-1 probe}: a cut-set vector containing [v]
+      (detecting that [v] closes),
+
+    for a total of [2 * nv] vectors — quadratically more than the paper's
+    method, which is the point of the comparison. *)
+
+open Fpva_grid
+
+val vector_count : Fpva.t -> int
+(** [2 * num_valves] — the paper's headline comparison number. *)
+
+val generate :
+  ?engine:Cover.engine -> Fpva.t -> Test_vector.t list * int list
+(** Materialise the baseline suite.  Returns the vectors and the valves for
+    which no probe could be constructed (architecturally untestable).
+    Intended for the smaller arrays; cost grows as O(nv) path searches. *)

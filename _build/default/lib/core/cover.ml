@@ -1,0 +1,110 @@
+type engine =
+  | Search of Path_search.params
+  | Ilp of Fpva_milp.Branch_bound.options
+
+let default_engine = Search Path_search.default_params
+
+type outcome = { paths : Problem.path list; uncovered : int list }
+
+let find_one engine problem ~weight =
+  match engine with
+  | Search params -> Path_search.find ~params problem ~weight
+  | Ilp options -> Path_ilp.find ~bb_options:options problem ~weight
+
+let run ?(engine = default_engine) ?(seeds = []) ?max_paths (p : Problem.t) =
+  let limit =
+    match max_paths with
+    | Some k -> k
+    | None -> (10 * Problem.num_required p) + 8
+  in
+  let need = Array.copy p.Problem.required in
+  let still_needed () = Array.exists (fun b -> b) need in
+  let gain path =
+    List.fold_left (fun acc e -> if need.(e) then acc + 1 else acc) 0
+      path.Problem.edges
+  in
+  let absorb path =
+    List.iter (fun e -> need.(e) <- false) path.Problem.edges
+  in
+  let accepted = ref [] in
+  (* Seeds first: keep any valid seed that newly covers something. *)
+  List.iter
+    (fun seed ->
+      match Problem.path_ok p seed with
+      | Error _ -> ()
+      | Ok () ->
+        if gain seed > 0 then begin
+          absorb seed;
+          accepted := seed :: !accepted
+        end)
+    seeds;
+  let rec loop k seed_salt =
+    if k >= limit || not (still_needed ()) then ()
+    else begin
+      let weight =
+        Array.init p.Problem.num_edges (fun e -> if need.(e) then 1.0 else 0.0)
+      in
+      (* Vary the search seed per round so stuck rounds explore anew. *)
+      let engine =
+        match engine with
+        | Search params -> Search { params with Path_search.seed = params.Path_search.seed + seed_salt }
+        | Ilp _ as e -> e
+      in
+      match find_one engine p ~weight with
+      | None -> ()
+      | Some path ->
+        if gain path = 0 then
+          (* The best admissible path covers nothing new: no admissible path
+             can reach the remaining edges (an exact engine proves it; the
+             search engine strongly suggests it).  One retry with a fresh
+             seed, then give up on the remainder. *)
+          if seed_salt = 0 then loop k 7919 else ()
+        else begin
+          absorb path;
+          accepted := path :: !accepted;
+          loop (k + 1) 0
+        end
+    end
+  in
+  loop (List.length !accepted) 0;
+  (* Targeted mop-up: the greedy weighting can starve awkward edges (the
+     best-scoring path repeatedly misses them); point the engine at each
+     leftover individually before declaring it uncoverable. *)
+  let mop_up e =
+    if need.(e) && List.length !accepted < limit then begin
+      let weight =
+        Array.init p.Problem.num_edges (fun i ->
+            if i = e then 1000.0 else if need.(i) then 1.0 else 0.0)
+      in
+      let attempt salt =
+        let engine =
+          match engine with
+          | Search params ->
+            Search
+              { Path_search.seed = params.Path_search.seed + e + salt;
+                step_budget = 2 * params.Path_search.step_budget }
+          | Ilp _ as eng -> eng
+        in
+        match find_one engine p ~weight with
+        | None -> false
+        | Some path ->
+          if List.mem e path.Problem.edges then begin
+            absorb path;
+            accepted := path :: !accepted;
+            true
+          end
+          else false
+      in
+      (* A few independently-seeded tries: randomised dives occasionally
+         miss an awkward edge that another jitter stream reaches. *)
+      ignore (List.exists attempt [ 104729; 31337; 777; 999983 ])
+    end
+  in
+  for e = 0 to p.Problem.num_edges - 1 do
+    if p.Problem.required.(e) then mop_up e
+  done;
+  let uncovered = ref [] in
+  for e = p.Problem.num_edges - 1 downto 0 do
+    if need.(e) then uncovered := e :: !uncovered
+  done;
+  { paths = List.rev !accepted; uncovered = !uncovered }

@@ -1,0 +1,31 @@
+(** Incremental covering loop.
+
+    Repeatedly asks a single-path engine for the path covering the most
+    still-uncovered required edges, until everything required is covered.
+    This is the decomposition the paper applies per subblock; for whole
+    arrays it trades the joint minimum model (eq. 7) for scalability while
+    keeping the same constraint structure per path. *)
+
+type engine =
+  | Search of Path_search.params  (** combinatorial DFS ({!Path_search}) *)
+  | Ilp of Fpva_milp.Branch_bound.options  (** exact ILP ({!Path_ilp}) *)
+
+val default_engine : engine
+(** [Search Path_search.default_params]. *)
+
+type outcome = {
+  paths : Problem.path list;  (** in generation order *)
+  uncovered : int list;
+      (** required edges no admissible path could cover (empty on success) *)
+}
+
+val run :
+  ?engine:engine ->
+  ?seeds:Problem.path list ->
+  ?max_paths:int ->
+  Problem.t ->
+  outcome
+(** [run problem] covers the required edges.  [seeds] are candidate paths
+    tried first (e.g. serpentine constructions); invalid or useless seeds
+    are dropped silently.  [max_paths] (default 10 x required count + 8)
+    bounds the loop.  Every returned path satisfies [Problem.path_ok]. *)

@@ -1,0 +1,84 @@
+(** Flow-path test generation (paper Section III-B).
+
+    A flow path is a simple source-to-sink route; applied as a test vector
+    it opens exactly its own valves.  A missing sink pressure then flags a
+    stuck-at-0 valve on the path.  Every valve must lie on at least one
+    generated path. *)
+
+open Fpva_grid
+
+type t = {
+  cells : Coord.cell list;  (** visited fluid cells, source side first *)
+  edges : Coord.edge list;  (** internal edges traversed, in step order *)
+  valve_ids : int list;  (** the [Valve] edges among [edges] *)
+  source : int;  (** port index (into [Fpva.ports]) the path starts at *)
+  sink : int;  (** port index the path ends at *)
+}
+
+type mapping
+(** Decoder between the abstract {!Problem} instance and grid entities. *)
+
+val problem : ?forbidden_valves:int list -> Fpva.t -> Problem.t * mapping
+(** The primal instance.  Open channels are uncontrollable, so cells joined
+    by them behave as one fluid node; the instance is built on that
+    contraction — nodes are channel-connected components of fluid cells
+    (plus ports), edges are exactly the valves between distinct components
+    (all required) plus the port openings.  A path therefore never
+    short-circuits its own valves through a channel.
+    [forbidden_valves] removes the given valves from the graph entirely
+    (they stay closed in any path generated from the instance) — used by
+    control-leakage generation to keep an aggressor valve actuated. *)
+
+val bypassed_valves : mapping -> int list
+(** Valves whose two endpoint cells are channel-connected around them: a
+    permanent fluid bypass exists, so no pressure test can ever observe
+    their stuck-at-0 fault.  Reported as uncovered by {!generate}. *)
+
+val sound : Fpva.t -> t -> bool
+(** Single-fault soundness audit of a path's vector: the sink sees pressure
+    nominally, and closing any {e single} path valve removes it — i.e. the
+    vector really detects a stuck-at-0 fault at each of its valves.  On
+    single-source chips the channel contraction makes every generated path
+    sound; with several sources a path crossing another source's port cell
+    is re-fed mid-route and only a subset of its valves is testable — see
+    {!tested_valves}. *)
+
+val tested_valves : Fpva.t -> t -> int list
+(** The valves of the path whose stuck-at-0 fault the path's vector
+    {e actually} detects: closing the valve (all other states per the
+    vector) changes the observation at some port.  Equal to [valve_ids] on
+    single-source chips; a strict subset when another source re-feeds the
+    path.  Generation absorbs only these, so coverage always implies
+    detection. *)
+
+val edge_id_of_mapping : mapping -> Coord.edge -> int option
+(** Problem edge id of a grid edge (None if absent from the instance). *)
+
+val of_problem_path : Fpva.t -> mapping -> Problem.path -> t
+(** @raise Invalid_argument if the path does not decode to a port-to-port
+    cell route. *)
+
+val serpentine_seeds : Fpva.t -> Problem.path list
+(** Boustrophedon whole-array paths (row-wise and column-wise, from each
+    corner) that are admissible on this layout — the constructive pattern
+    with which a full [n x n] array is covered by two paths, as in the
+    paper's Fig. 8(a).  Empty when obstacles/ports rule them out. *)
+
+val generate :
+  ?engine:Cover.engine -> ?use_seeds:bool -> Fpva.t -> t list * int list
+(** [generate t] covers all valves with flow paths.  Returns the paths and
+    the ids of valves that could not be covered (empty for any layout whose
+    valves are all reachable — guaranteed after [Fpva.validate]).
+    [use_seeds] (default true) tries {!serpentine_seeds} first. *)
+
+val minimum :
+  ?bb_options:Fpva_milp.Branch_bound.options ->
+  max_paths:int ->
+  Fpva.t ->
+  t list option
+(** Joint minimum-path-count ILP (paper eqs. (1)–(8)) — exponential; meant
+    for small arrays and for cross-checking the incremental engines. *)
+
+val covers_all_valves : Fpva.t -> t list -> bool
+
+val pp : Fpva.t -> Format.formatter -> t -> unit

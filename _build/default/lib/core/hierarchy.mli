@@ -1,0 +1,42 @@
+(** Hierarchical flow-path generation (paper Section III-B-4).
+
+    The array is partitioned into subblocks (5x5 in the paper's
+    experiments).  Top-level paths over the {e block graph} fix the flow
+    direction through each subblock; within every subblock, sub-paths are
+    generated from the entry side to the exit side; stitching sub-paths
+    along a top-level route yields the final test paths.  Every sub-path
+    must appear in some stitched path, and all valves — inside blocks and
+    on block borders — must end up covered.
+
+    Compared to the direct model the hierarchy yields more (but shorter,
+    and much cheaper to find) paths, reproducing the paper's Fig. 8
+    contrast.  Valves the stitched routes cannot reach (rare, layouts with
+    extreme obstacles) are mopped up by a direct covering fallback, so the
+    generator never sacrifices coverage for hierarchy. *)
+
+open Fpva_grid
+
+type options = {
+  block_rows : int;  (** subblock height (paper: 5) *)
+  block_cols : int;  (** subblock width (paper: 5) *)
+  engine : Cover.engine;  (** engine for top-level and in-block searches *)
+  segment_budget : int;  (** DFS budget per in-block segment search *)
+  max_instances : int;  (** stitched paths per top-level route bound *)
+}
+
+val default_options : options
+(** 5x5 blocks, search engine, 30 000 steps per segment, 64 instances. *)
+
+type result = {
+  paths : Flow_path.t list;  (** all final paths (stitched + fallback) *)
+  top_routes : (int * int) list list;
+      (** top-level routes as block-coordinate sequences *)
+  stitched : int;  (** paths produced by stitching *)
+  fallback : int;  (** paths added by the direct fallback *)
+  uncovered : int list;  (** valve ids no path could reach *)
+}
+
+val generate : ?options:options -> Fpva.t -> result
+
+val block_of_cell : options -> Coord.cell -> int * int
+(** Block coordinates [(bi, bj)] of a cell under the partition. *)

@@ -1,0 +1,137 @@
+open Fpva_grid
+module Vec = Fpva_util.Vec
+
+let adjacent_pairs fpva =
+  let out = Vec.create () in
+  let nr = Fpva.rows fpva and nc = Fpva.cols fpva in
+  for r = 0 to nr - 1 do
+    for c = 0 to nc - 1 do
+      let cell = Coord.cell r c in
+      if Fpva.cell_state fpva cell = Fpva.Fluid then begin
+        let incident =
+          List.filter_map
+            (fun d ->
+              let e = Coord.edge_towards cell d in
+              if Fpva.edge_in_bounds fpva e then Fpva.valve_id_opt fpva e
+              else None)
+            Coord.all_dirs
+        in
+        List.iter
+          (fun a ->
+            List.iter (fun b -> if a <> b then Vec.push out (a, b)) incident)
+          incident
+      end
+    done
+  done;
+  (* A pair of valves shares two cells when they are parallel neighbours;
+     keep each ordered pair once. *)
+  let seen = Hashtbl.create 256 in
+  let uniq = Vec.create () in
+  Vec.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.add seen p ();
+        Vec.push uniq p
+      end)
+    out;
+  Vec.to_array uniq
+
+let on_path_set fpva (path : Flow_path.t) =
+  let set = Array.make (Fpva.num_valves fpva) false in
+  List.iter (fun v -> set.(v) <- true) path.Flow_path.valve_ids;
+  set
+
+(* The victim must not merely sit on the path: its closure must flip the
+   observation (tested_valves), otherwise the leak would go unnoticed. *)
+let tested_set fpva path =
+  let set = Array.make (Fpva.num_valves fpva) false in
+  List.iter (fun v -> set.(v) <- true) (Flow_path.tested_valves fpva path);
+  set
+
+let exercised_by fpva path (a, b) =
+  let on = on_path_set fpva path in
+  (not on.(a)) && (tested_set fpva path).(b)
+
+let residual_after fpva pairs paths =
+  let remaining = Hashtbl.create 256 in
+  Array.iter (fun p -> Hashtbl.replace remaining p ()) pairs;
+  List.iter
+    (fun path ->
+      let on = on_path_set fpva path in
+      let tested = tested_set fpva path in
+      Array.iter
+        (fun (a, b) ->
+          if tested.(b) && not on.(a) then Hashtbl.remove remaining (a, b))
+        pairs)
+    paths;
+  List.filter (fun p -> Hashtbl.mem remaining p) (Array.to_list pairs)
+
+let residual_pairs fpva ~existing =
+  residual_after fpva (adjacent_pairs fpva) existing
+
+(* One attempt: a flow path that must include victim [b] while aggressor [a]
+   is removed from the graph (held closed).  Unit weights on the other
+   residual victims make a single vector retire many pairs. *)
+let attempt engine fpva remaining (a, b) =
+  let prob, mapping = Flow_path.problem ~forbidden_valves:[ a ] fpva in
+  let weight = Array.make prob.Problem.num_edges 0.0 in
+  let edge_id_of_valve vid =
+    Flow_path.edge_id_of_mapping mapping (Fpva.edge_of_valve fpva vid)
+  in
+  List.iter
+    (fun (_, vict) ->
+      match edge_id_of_valve vict with
+      | Some e -> weight.(e) <- max weight.(e) 1.0
+      | None -> ())
+    remaining;
+  (match edge_id_of_valve b with
+  | Some e -> weight.(e) <- 1000.0
+  | None -> ());
+  let found =
+    match engine with
+    | Cover.Search params -> Path_search.find ~params prob ~weight
+    | Cover.Ilp options -> Path_ilp.find ~bb_options:options prob ~weight
+  in
+  match found with
+  | None -> None
+  | Some p ->
+    let path = Flow_path.of_problem_path fpva mapping p in
+    if (tested_set fpva path).(b) then Some path else None
+
+let generate ?(engine = Cover.default_engine) ?pairs fpva ~existing =
+  let pairs =
+    match pairs with Some ps -> ps | None -> adjacent_pairs fpva
+  in
+  let remaining = ref (residual_after fpva pairs existing) in
+  let impossible = ref [] in
+  let added = ref [] in
+  let rec loop () =
+    match !remaining with
+    | [] -> ()
+    | ((a, b) as pair) :: rest -> (
+      match attempt engine fpva !remaining pair with
+      | None ->
+        impossible := pair :: !impossible;
+        remaining := rest;
+        loop ()
+      | Some path ->
+        added := path :: !added;
+        let on = on_path_set fpva path in
+        let tested = tested_set fpva path in
+        assert (tested.(b) && not on.(a));
+        remaining :=
+          List.filter
+            (fun (x, y) -> not (tested.(y) && not on.(x)))
+            !remaining;
+        loop ())
+  in
+  loop ();
+  (* A pair declared impossible earlier may have been exercised incidentally
+     by a later path; the final verdict is recomputed over the whole set. *)
+  let final_paths = existing @ List.rev !added in
+  let unexercisable =
+    List.filter
+      (fun pr -> not (List.exists (fun p -> exercised_by fpva p pr) final_paths))
+      (List.rev !impossible)
+  in
+  (List.rev !added, unexercisable)

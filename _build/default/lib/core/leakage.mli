@@ -1,0 +1,43 @@
+(** Control-layer leakage test generation.
+
+    The paper's fourth fault class: pressure leaking between two control
+    channels makes two valves actuate together — when the aggressor valve
+    [a] is closed (actuated), the victim valve [b] closes as well.  The
+    paper states the defect is covered "by adapting the valve coverage
+    problem" without giving the construction; the reconstruction here is:
+
+    an ordered adjacent pair [(a, b)] (valves sharing a fluid cell, whose
+    control channels are therefore routed next to each other) is
+    {e exercised} by a vector in which [b] is open on a live source-to-sink
+    path while [a] is closed.  If the leak exists, actuating [a] also
+    closes [b], the path is interrupted, and the missing sink pressure
+    exposes the fault.
+
+    Flow-path vectors already exercise every pair whose victim lies on a
+    path that avoids the aggressor; the generator below adds vectors only
+    for the residual pairs, producing the paper's [nl] counts (same order
+    of magnitude as [np]). *)
+
+open Fpva_grid
+
+val adjacent_pairs : Fpva.t -> (int * int) array
+(** All ordered pairs of distinct valves sharing a fluid cell. *)
+
+val exercised_by : Fpva.t -> Flow_path.t -> (int * int) -> bool
+(** Is the pair (aggressor, victim) exercised by this path's vector? *)
+
+val residual_pairs :
+  Fpva.t -> existing:Flow_path.t list -> (int * int) list
+(** Pairs not exercised by any of the given flow paths. *)
+
+val generate :
+  ?engine:Cover.engine ->
+  ?pairs:(int * int) array ->
+  Fpva.t ->
+  existing:Flow_path.t list ->
+  Flow_path.t list * (int * int) list
+(** Additional leakage paths covering the residual pairs, plus the pairs
+    that cannot be exercised at all (victim unreachable once its aggressor
+    is held closed).  [pairs] overrides the pair model (default
+    {!adjacent_pairs}); use {!Fpva_grid.Control.leak_pairs} for a routed
+    control-layer architecture. *)

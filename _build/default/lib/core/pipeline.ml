@@ -1,0 +1,202 @@
+open Fpva_grid
+module Timer = Fpva_util.Timer
+
+type config = {
+  engine : Cover.engine;
+  hierarchical : bool;
+  block_rows : int;
+  block_cols : int;
+  anti_masking : bool;
+  include_leakage : bool;
+  leak_routing : Control.routing;
+  use_seeds : bool;
+}
+
+let default_config =
+  {
+    engine = Cover.default_engine;
+    hierarchical = true;
+    block_rows = 5;
+    block_cols = 5;
+    anti_masking = true;
+    include_leakage = true;
+    leak_routing = Control.Fluid_adjacency;
+    use_seeds = true;
+  }
+
+let direct_config = { default_config with hierarchical = false }
+
+type t = {
+  fpva : Fpva.t;
+  flow : Flow_path.t list;
+  cuts : Cut_set.t list;
+  pierced : (Flow_path.t * int) list;
+  leak : Flow_path.t list;
+  vectors : Test_vector.t list;
+  np : int;
+  ncut : int;
+  nl : int;
+  total : int;
+  tp : float;
+  tc : float;
+  tl : float;
+  total_time : float;
+  uncovered_flow : int list;
+  uncovered_cut : int list;
+  untestable_pairs : (int * int) list;
+}
+
+let run ?(config = default_config) fpva =
+  (match Fpva.validate fpva with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Pipeline.run: " ^ msg));
+  let (flow, uncovered_flow), tp =
+    Timer.time (fun () ->
+        if config.hierarchical then begin
+          let options =
+            { Hierarchy.default_options with
+              Hierarchy.block_rows = config.block_rows;
+              block_cols = config.block_cols;
+              engine = config.engine }
+          in
+          let r = Hierarchy.generate ~options fpva in
+          (r.Hierarchy.paths, r.Hierarchy.uncovered)
+        end
+        else
+          Flow_path.generate ~engine:config.engine ~use_seeds:config.use_seeds
+            fpva)
+  in
+  let (cuts, pierced, uncovered_cut), tc =
+    Timer.time (fun () ->
+        let cuts, leftover =
+          Cut_set.generate ~engine:config.engine
+            ~anti_masking:config.anti_masking fpva
+        in
+        (* Valves essential in no cut get a targeted pierced-path probe.
+           The probe is only sound if closing the valve actually darkens the
+           path's sink — with several sources a path can be re-fed
+           mid-route — so candidate paths are audited before adoption and a
+           fresh targeted path is generated when no existing one works. *)
+        let usable v p =
+          match
+            Test_vector.well_formed fpva (Test_vector.of_pierced_path fpva p v)
+          with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        let fresh_path v salt =
+          let prob, mapping = Flow_path.problem fpva in
+          match
+            Flow_path.edge_id_of_mapping mapping (Fpva.edge_of_valve fpva v)
+          with
+          | None -> None
+          | Some e ->
+            let weight = Array.make prob.Problem.num_edges 0.0 in
+            weight.(e) <- 1000.0;
+            let found =
+              match config.engine with
+              | Cover.Search params ->
+                Path_search.find
+                  ~params:
+                    { params with
+                      Path_search.seed = params.Path_search.seed + salt }
+                  prob ~weight
+              | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts prob ~weight
+            in
+            (match found with
+            | Some pp ->
+              let path = Flow_path.of_problem_path fpva mapping pp in
+              if List.mem v path.Flow_path.valve_ids && usable v path then
+                Some path
+              else None
+            | None -> None)
+        in
+        let pierced, still =
+          List.partition_map
+            (fun v ->
+              let existing =
+                List.find_opt
+                  (fun p -> List.mem v p.Flow_path.valve_ids && usable v p)
+                  flow
+              in
+              match existing with
+              | Some p -> Either.Left (p, v)
+              | None -> (
+                match
+                  List.find_map (fresh_path v) [ 17; 7919; 104729 ]
+                with
+                | Some p -> Either.Left (p, v)
+                | None -> Either.Right v))
+            leftover
+        in
+        (cuts, pierced, still))
+  in
+  let (leak, untestable_pairs), tl =
+    Timer.time (fun () ->
+        if config.include_leakage then
+          Leakage.generate ~engine:config.engine
+            ~pairs:(Control.leak_pairs fpva config.leak_routing)
+            fpva ~existing:flow
+        else ([], []))
+  in
+  let vectors =
+    List.mapi
+      (fun i p ->
+        Test_vector.of_flow_path ~label:(Printf.sprintf "flow-%d" i) fpva p)
+      flow
+    @ List.mapi
+        (fun i c ->
+          Test_vector.of_cut_set ~label:(Printf.sprintf "cut-%d" i) fpva c)
+        cuts
+    @ List.map
+        (fun (p, v) ->
+          Test_vector.of_pierced_path
+            ~label:(Printf.sprintf "pierced-%d" v)
+            fpva p v)
+        pierced
+    @ List.mapi
+        (fun i p ->
+          Test_vector.of_leak_path ~label:(Printf.sprintf "leak-%d" i) fpva p)
+        leak
+  in
+  let np = List.length flow in
+  let ncut = List.length cuts + List.length pierced in
+  let nl = List.length leak in
+  {
+    fpva;
+    flow;
+    cuts;
+    pierced;
+    leak;
+    vectors;
+    np;
+    ncut;
+    nl;
+    total = np + ncut + nl;
+    tp;
+    tc;
+    tl;
+    total_time = tp +. tc +. tl;
+    uncovered_flow;
+    uncovered_cut;
+    untestable_pairs;
+  }
+
+let stuck_at_1_covered t =
+  let seen = Array.make (Fpva.num_valves t.fpva) false in
+  List.iter
+    (fun c -> List.iter (fun v -> seen.(v) <- true) c.Cut_set.valve_ids)
+    t.cuts;
+  List.iter (fun (_, v) -> seen.(v) <- true) t.pierced;
+  Array.for_all (fun b -> b) seen
+
+let suite_ok t =
+  Flow_path.covers_all_valves t.fpva t.flow
+  && stuck_at_1_covered t
+  && List.for_all (Cut_set.is_valid t.fpva) t.cuts
+  && List.for_all
+       (fun v ->
+         match Test_vector.well_formed t.fpva v with
+         | Ok () -> true
+         | Error _ -> false)
+       t.vectors

@@ -1,0 +1,61 @@
+(** End-to-end test-set generation — the paper's full flow.
+
+    Runs, in order: flow-path generation (direct or hierarchical), cut-set
+    generation, and control-leakage generation, assembling the complete
+    vector suite and the per-stage runtimes that populate Table I. *)
+
+open Fpva_grid
+
+type config = {
+  engine : Cover.engine;
+  hierarchical : bool;  (** use {!Hierarchy} for the flow paths *)
+  block_rows : int;  (** subblock height when hierarchical (paper: 5) *)
+  block_cols : int;
+  anti_masking : bool;  (** enable eq. (9) in cut generation *)
+  include_leakage : bool;
+  leak_routing : Control.routing;
+      (** control-layer pair model for leakage vectors (default
+          [Fluid_adjacency]) *)
+  use_seeds : bool;  (** try serpentine constructions in direct mode *)
+}
+
+val default_config : config
+(** Search engine, hierarchical with 5x5 blocks, anti-masking and leakage
+    on, seeds on. *)
+
+val direct_config : config
+(** Like {!default_config} but non-hierarchical (the paper's "direct
+    model"). *)
+
+type t = {
+  fpva : Fpva.t;
+  flow : Flow_path.t list;
+  cuts : Cut_set.t list;
+  pierced : (Flow_path.t * int) list;
+      (** targeted stuck-at-1 probes for valves essential in no cut *)
+  leak : Flow_path.t list;
+  vectors : Test_vector.t list;
+      (** flow, cut, pierced, then leak vectors *)
+  np : int;  (** flow-path vector count — Table I column [np] *)
+  ncut : int;
+      (** stuck-at-1 vector count (cut-sets + pierced probes) — Table I
+          column [nc] *)
+  nl : int;  (** leakage vector count — Table I column [nl] *)
+  total : int;  (** Table I column [N] *)
+  tp : float;  (** seconds — Table I column [tp] *)
+  tc : float;
+  tl : float;
+  total_time : float;
+  uncovered_flow : int list;  (** valve ids (empty on sane layouts) *)
+  uncovered_cut : int list;
+  untestable_pairs : (int * int) list;
+      (** leakage pairs no pressure test can exercise (e.g. the two valves
+          of a corner cell) *)
+}
+
+val run : ?config:config -> Fpva.t -> t
+(** @raise Invalid_argument when [Fpva.validate] fails. *)
+
+val suite_ok : t -> bool
+(** All valves covered by flow paths and by cuts, all vectors well-formed,
+    all cuts valid. *)

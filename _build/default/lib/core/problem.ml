@@ -1,0 +1,143 @@
+type t = {
+  name : string;
+  num_nodes : int;
+  num_edges : int;
+  adj : (int * int) list array;
+  edge_ends : (int * int) array;
+  required : bool array;
+  pair_constrained : bool array;
+  terminal : bool array;
+  starts : int array;
+  ends : int array;
+  valid_pair : int -> int -> bool;
+}
+
+let build ~name ~num_nodes ~edges ~required ?pair_constrained ?terminal
+    ?(valid_pair = fun _ _ -> true) ~starts ~ends () =
+  let num_edges = Array.length edges in
+  if Array.length required <> num_edges then
+    invalid_arg "Problem.build: required size";
+  let pair_constrained =
+    match pair_constrained with
+    | Some a ->
+      if Array.length a <> num_edges then
+        invalid_arg "Problem.build: pair_constrained size";
+      a
+    | None -> Array.make num_edges false
+  in
+  let terminal =
+    match terminal with
+    | Some a ->
+      if Array.length a <> num_nodes then
+        invalid_arg "Problem.build: terminal size";
+      a
+    | None -> Array.make num_nodes false
+  in
+  let check_node n = if n < 0 || n >= num_nodes then invalid_arg "Problem.build: node id" in
+  Array.iter
+    (fun (a, b) ->
+      check_node a;
+      check_node b;
+      if a = b then invalid_arg "Problem.build: self loop")
+    edges;
+  Array.iter check_node starts;
+  Array.iter check_node ends;
+  let adj = Array.make num_nodes [] in
+  Array.iteri
+    (fun e (a, b) ->
+      adj.(a) <- (b, e) :: adj.(a);
+      adj.(b) <- (a, e) :: adj.(b))
+    edges;
+  { name; num_nodes; num_edges; adj; edge_ends = edges; required;
+    pair_constrained; terminal; starts; ends; valid_pair }
+
+let num_required t =
+  Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 t.required
+
+type path = { nodes : int list; edges : int list }
+
+let mem_array x a = Array.exists (fun y -> y = x) a
+
+let path_ok t p =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match p.nodes with
+  | [] -> fail "empty path"
+  | [ n ] -> fail "single-node path (node %d)" n
+  | first :: _ ->
+    let rec last = function
+      | [ x ] -> x
+      | _ :: rest -> last rest
+      | [] -> assert false
+    in
+    let final = last p.nodes in
+    if not (mem_array first t.starts) then fail "start %d not a start node" first
+    else if not (mem_array final t.ends) then fail "end %d not an end node" final
+    else if not (t.valid_pair first final) then
+      fail "endpoints (%d,%d) not admissible" first final
+    else if List.length p.edges <> List.length p.nodes - 1 then
+      fail "edge count mismatch"
+    else begin
+      (* simplicity *)
+      let seen = Hashtbl.create 16 in
+      let dup = List.exists (fun n -> Hashtbl.mem seen n || (Hashtbl.add seen n (); false)) p.nodes in
+      if dup then fail "repeated node"
+      else begin
+        (* consecutive adjacency via the claimed edge *)
+        let rec steps ns es =
+          match (ns, es) with
+          | ([] | [ _ ]), [] -> Ok ()
+          | a :: (b :: _ as rest), e :: es' ->
+            let x, y = t.edge_ends.(e) in
+            if (x = a && y = b) || (x = b && y = a) then steps rest es'
+            else fail "edge %d does not join %d-%d" e a b
+          | _, _ -> fail "edge count mismatch"
+        in
+        match steps p.nodes p.edges with
+        | Error _ as err -> err
+        | Ok () ->
+          (* terminal discipline: terminal nodes only at the extremities *)
+          let interior =
+            match p.nodes with
+            | [] | [ _ ] -> []
+            | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+          in
+          if List.exists (fun n -> t.terminal.(n)) interior then
+            fail "terminal node in path interior"
+          else begin
+            (* anti-masking: visiting both endpoints of a pair-constrained
+               edge requires traversing it *)
+            let used = Hashtbl.create 16 in
+            List.iter (fun e -> Hashtbl.replace used e ()) p.edges;
+            let visited n = Hashtbl.mem seen n in
+            let bad = ref None in
+            Array.iteri
+              (fun e (a, b) ->
+                if t.pair_constrained.(e) && visited a && visited b
+                   && not (Hashtbl.mem used e)
+                then bad := Some e)
+              t.edge_ends;
+            match !bad with
+            | Some e -> fail "anti-masking violation at edge %d" e
+            | None -> Ok ()
+          end
+      end
+    end
+
+let covered t paths =
+  let cov = Array.make t.num_edges false in
+  List.iter (fun p -> List.iter (fun e -> cov.(e) <- true) p.edges) paths;
+  cov
+
+let all_required_covered t paths =
+  let cov = covered t paths in
+  let ok = ref true in
+  Array.iteri (fun e r -> if r && not cov.(e) then ok := false) t.required;
+  !ok
+
+let uncovered_required t paths =
+  let cov = covered t paths in
+  let out = ref [] in
+  for e = t.num_edges - 1 downto 0 do
+    if t.required.(e) && not cov.(e) then out := e :: !out
+  done;
+  !out

@@ -1,0 +1,50 @@
+open Fpva_grid
+module Table = Fpva_util.Table
+
+let table1_header =
+  Table.create
+    [ ("Dimension", Table.Left); ("nv", Table.Right); ("Top", Table.Left);
+      ("Subblock", Table.Left); ("np", Table.Right); ("tp(s)", Table.Right);
+      ("nc", Table.Right); ("tc(s)", Table.Right); ("nl", Table.Right);
+      ("tl(s)", Table.Right); ("N", Table.Right); ("T(s)", Table.Right);
+      ("N_base", Table.Right) ]
+
+let table1_row table ~label ~top ~subblock (r : Pipeline.t) =
+  Table.add_row table
+    [ label; string_of_int (Fpva.num_valves r.Pipeline.fpva); top; subblock;
+      string_of_int r.Pipeline.np; Printf.sprintf "%.1f" r.Pipeline.tp;
+      string_of_int r.Pipeline.ncut; Printf.sprintf "%.1f" r.Pipeline.tc;
+      string_of_int r.Pipeline.nl; Printf.sprintf "%.1f" r.Pipeline.tl;
+      string_of_int r.Pipeline.total;
+      Printf.sprintf "%.1f" r.Pipeline.total_time;
+      string_of_int (Baseline.vector_count r.Pipeline.fpva) ]
+
+let render_flow_paths fpva paths =
+  let cell_marks, edge_marks =
+    List.fold_left
+      (fun (cm, em) (i, p) ->
+        let c, e =
+          Render.path_marks ~index:(i + 1) p.Flow_path.cells p.Flow_path.edges
+        in
+        (cm @ c, em @ e))
+      ([], [])
+      (List.mapi (fun i p -> (i, p)) paths)
+  in
+  Render.custom ~cell_marks ~edge_marks fpva
+
+let render_cut fpva cut =
+  Render.custom ~edge_marks:(Render.cut_marks cut.Cut_set.valves) fpva
+
+let summary (r : Pipeline.t) =
+  let nv = Fpva.num_valves r.Pipeline.fpva in
+  Printf.sprintf
+    "%dx%d array, %d valves: %d flow paths (%.1fs), %d cut-sets (%.1fs), %d \
+     leakage vectors (%.1fs); %d vectors total vs %d for the one-valve \
+     baseline.  Uncovered: %d (flow), %d (cut); untestable leak pairs: %d."
+    (Fpva.rows r.Pipeline.fpva)
+    (Fpva.cols r.Pipeline.fpva)
+    nv r.Pipeline.np r.Pipeline.tp r.Pipeline.ncut r.Pipeline.tc r.Pipeline.nl
+    r.Pipeline.tl r.Pipeline.total (2 * nv)
+    (List.length r.Pipeline.uncovered_flow)
+    (List.length r.Pipeline.uncovered_cut)
+    (List.length r.Pipeline.untestable_pairs)

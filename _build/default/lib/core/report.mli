@@ -1,0 +1,22 @@
+(** Report formatting: Table-I-style rows and path/cut drawings. *)
+
+open Fpva_grid
+
+val table1_header : Fpva_util.Table.t
+(** An empty table with the paper's Table I columns: Dimension, nv, Top,
+    Subblock, np, tp(s), nc, tc(s), nl, tl(s), N, T(s). *)
+
+val table1_row :
+  Fpva_util.Table.t -> label:string -> top:string -> subblock:string ->
+  Pipeline.t -> unit
+(** Append one pipeline result as a Table I row. *)
+
+val render_flow_paths : Fpva.t -> Flow_path.t list -> string
+(** ASCII drawing with each path's cells/valves marked by its 1-based
+    index (mod 10) — the Fig. 8/9 visualisation. *)
+
+val render_cut : Fpva.t -> Cut_set.t -> string
+(** ASCII drawing with the cut valves marked ['x']. *)
+
+val summary : Pipeline.t -> string
+(** One-paragraph text summary of a generated suite. *)

@@ -1,0 +1,92 @@
+
+let hamming a b =
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let popcount a =
+  Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 a
+
+let switching_cost vectors =
+  match vectors with
+  | [] -> 0
+  | first :: _ ->
+    let rec steps acc = function
+      | a :: (b :: _ as rest) ->
+        steps (acc + hamming a.Test_vector.open_valves b.Test_vector.open_valves) rest
+      | [] | [ _ ] -> acc
+    in
+    popcount first.Test_vector.open_valves + steps 0 vectors
+
+let order ?(initial_all_closed = true) fpva vectors =
+  ignore fpva;
+  match vectors with
+  | [] | [ _ ] -> vectors
+  | _ :: _ ->
+    let arr = Array.of_list vectors in
+    let n = Array.length arr in
+    let dist i j =
+      hamming arr.(i).Test_vector.open_valves arr.(j).Test_vector.open_valves
+    in
+    let lead i =
+      if initial_all_closed then popcount arr.(i).Test_vector.open_valves
+      else 0
+    in
+    (* Nearest-neighbour construction from the cheapest lead-in vector. *)
+    let used = Array.make n false in
+    let start = ref 0 in
+    for i = 1 to n - 1 do
+      if lead i < lead !start then start := i
+    done;
+    let tour = Array.make n !start in
+    used.(!start) <- true;
+    for k = 1 to n - 1 do
+      let prev = tour.(k - 1) in
+      let best = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not used.(j)) && (!best < 0 || dist prev j < dist prev !best)
+        then best := j
+      done;
+      tour.(k) <- !best;
+      used.(!best) <- true
+    done;
+    (* 2-opt: reversing tour[i..j] replaces edges (i-1,i) and (j,j+1) by
+       (i-1,j) and (i,j+1); accept strict improvements until a fixpoint
+       (bounded by a generous pass count). *)
+    let edge_cost i j = if i < 0 then lead tour.(j) else dist tour.(i) tour.(j) in
+    let improved = ref true in
+    let passes = ref 0 in
+    while !improved && !passes < 50 do
+      improved := false;
+      incr passes;
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          let before =
+            edge_cost (i - 1) i
+            + if j + 1 < n then dist tour.(j) tour.(j + 1) else 0
+          in
+          let after =
+            (if i - 1 < 0 then lead tour.(j) else dist tour.(i - 1) tour.(j))
+            + if j + 1 < n then dist tour.(i) tour.(j + 1) else 0
+          in
+          if after < before then begin
+            (* reverse tour[i..j] *)
+            let l = ref i and r = ref j in
+            while !l < !r do
+              let tmp = tour.(!l) in
+              tour.(!l) <- tour.(!r);
+              tour.(!r) <- tmp;
+              incr l;
+              decr r
+            done;
+            improved := true
+          end
+        done
+      done
+    done;
+    Array.to_list (Array.map (fun i -> arr.(i)) tour)
+
+let improvement fpva vectors =
+  let before = switching_cost vectors in
+  let after = switching_cost (order fpva vectors) in
+  (before, after)

@@ -1,0 +1,237 @@
+open Fpva_grid
+
+let bits_of_bools a =
+  String.init (Array.length a) (fun i -> if a.(i) then '1' else '0')
+
+let cells_to_string cells =
+  String.concat ";"
+    (List.map
+       (fun (c : Coord.cell) -> Printf.sprintf "(%d,%d)" c.Coord.row c.Coord.col)
+       cells)
+
+let kind_lines fpva (v : Test_vector.t) =
+  ignore fpva;
+  match v.Test_vector.kind with
+  | Test_vector.Flow p ->
+    [ Printf.sprintf "kind flow %d %d" p.Flow_path.source p.Flow_path.sink;
+      "cells " ^ cells_to_string p.Flow_path.cells ]
+  | Test_vector.Leak p ->
+    [ Printf.sprintf "kind leak %d %d" p.Flow_path.source p.Flow_path.sink;
+      "cells " ^ cells_to_string p.Flow_path.cells ]
+  | Test_vector.Pierced (p, target) ->
+    [ Printf.sprintf "kind pierced %d %d %d" p.Flow_path.source
+        p.Flow_path.sink target;
+      "cells " ^ cells_to_string p.Flow_path.cells ]
+  | Test_vector.Cut c ->
+    [ "kind cut";
+      "cut "
+      ^ String.concat ";" (List.map string_of_int c.Cut_set.valve_ids) ]
+
+let to_string fpva vectors =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "fpva-suite 1\n";
+  Buffer.add_string buf (Printf.sprintf "rows %d\n" (Fpva.rows fpva));
+  Buffer.add_string buf (Printf.sprintf "cols %d\n" (Fpva.cols fpva));
+  Buffer.add_string buf (Printf.sprintf "valves %d\n" (Fpva.num_valves fpva));
+  Buffer.add_string buf
+    (Printf.sprintf "ports %d\n" (Array.length (Fpva.ports fpva)));
+  List.iter
+    (fun (v : Test_vector.t) ->
+      Buffer.add_string buf (Printf.sprintf "vector %s\n" v.Test_vector.label);
+      List.iter
+        (fun line -> Buffer.add_string buf (line ^ "\n"))
+        (kind_lines fpva v);
+      Buffer.add_string buf
+        ("states " ^ bits_of_bools v.Test_vector.open_valves ^ "\n");
+      Buffer.add_string buf ("golden " ^ bits_of_bools v.Test_vector.golden ^ "\n");
+      Buffer.add_string buf "end\n")
+    vectors;
+  Buffer.contents buf
+
+let write_file path fpva vectors =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string fpva vectors))
+
+(* ---------- parsing ---------- *)
+
+type line = { num : int; words : string list; raw : string }
+
+let tokenize text =
+  List.filteri (fun _ _ -> true) (String.split_on_char '\n' text)
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter_map (fun (num, raw) ->
+         let body =
+           match String.index_opt raw '#' with
+           | Some k -> String.sub raw 0 k
+           | None -> raw
+         in
+         let words =
+           String.split_on_char ' ' (String.trim body)
+           |> List.filter (fun w -> w <> "")
+         in
+         if words = [] then None else Some { num; words; raw })
+
+let fail num fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" num s)) fmt
+
+let parse_cells num s =
+  let parts = String.split_on_char ';' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+      match Scanf.sscanf_opt part "(%d,%d)" (fun r c -> Coord.cell r c) with
+      | Some cell -> go (cell :: acc) rest
+      | None -> fail num "bad cell %S" part)
+  in
+  go [] parts
+
+let bools_of_bits num s =
+  let ok = ref true in
+  String.iter (fun ch -> if ch <> '0' && ch <> '1' then ok := false) s;
+  if not !ok then fail num "bad bitstring"
+  else Ok (Array.init (String.length s) (fun i -> s.[i] = '1'))
+
+(* Reconstruct a Flow_path.t from its cell route. *)
+let path_of_cells fpva num ~source ~sink cells =
+  let rec edges = function
+    | a :: (b :: _ as rest) -> (
+      match Coord.edge_between a b with
+      | e -> e :: edges rest
+      | exception Invalid_argument _ -> raise Exit)
+    | [] | [ _ ] -> []
+  in
+  match edges cells with
+  | exception Exit -> fail num "cells are not a contiguous route"
+  | es ->
+    let valve_ids = List.filter_map (Fpva.valve_id_opt fpva) es in
+    Ok { Flow_path.cells; edges = es; valve_ids; source; sink }
+
+let of_string fpva text =
+  let ( let* ) = Result.bind in
+  let lines = tokenize text in
+  match lines with
+  | { words = [ "fpva-suite"; "1" ]; _ } :: rest ->
+    let expect_header name value = function
+      | { num; words = [ key; v ]; _ } when key = name ->
+        if int_of_string_opt v = Some value then Ok ()
+        else fail num "%s mismatch: file says %s, architecture has %d" name v value
+      | { num; _ } -> fail num "expected '%s <n>'" name
+    in
+    (match rest with
+    | r :: c :: va :: po :: body ->
+      let* () = expect_header "rows" (Fpva.rows fpva) r in
+      let* () = expect_header "cols" (Fpva.cols fpva) c in
+      let* () = expect_header "valves" (Fpva.num_valves fpva) va in
+      let* () = expect_header "ports" (Array.length (Fpva.ports fpva)) po in
+      let rec vectors acc = function
+        | [] -> Ok (List.rev acc)
+        | { num; words = "vector" :: label_words; _ } :: rest ->
+          let label = String.concat " " label_words in
+          parse_vector acc num label rest
+        | { num; _ } :: _ -> fail num "expected 'vector <label>'"
+      and parse_vector acc vnum label body =
+        let* kind, body =
+          match body with
+          | { words = [ "kind"; "flow"; s; t ]; _ } :: rest ->
+            Ok (`Path (`Flow, int_of_string s, int_of_string t), rest)
+          | { words = [ "kind"; "leak"; s; t ]; _ } :: rest ->
+            Ok (`Path (`Leak, int_of_string s, int_of_string t), rest)
+          | { words = [ "kind"; "pierced"; s; t; v ]; _ } :: rest ->
+            Ok
+              ( `Path (`Pierced (int_of_string v), int_of_string s, int_of_string t),
+                rest )
+          | { words = [ "kind"; "cut" ]; _ } :: rest -> Ok (`Cut, rest)
+          | _ ->
+            let num = match body with { num; _ } :: _ -> num | [] -> vnum in
+            fail num "expected a 'kind' line"
+        in
+        let* structure, body =
+          match (kind, body) with
+          | `Path (style, s, t), { num; words = "cells" :: _; raw } :: rest ->
+            let payload =
+              String.trim
+                (String.sub (String.trim raw) 5
+                   (String.length (String.trim raw) - 5))
+            in
+            let* cells = parse_cells num payload in
+            let* path = path_of_cells fpva num ~source:s ~sink:t cells in
+            Ok (`Path (style, path), rest)
+          | `Cut, { num; words = "cut" :: ids; _ } :: rest ->
+            let* valve_ids =
+              List.fold_left
+                (fun acc w ->
+                  let* acc = acc in
+                  let* parsed =
+                    String.split_on_char ';' w
+                    |> List.filter (fun x -> x <> "")
+                    |> List.fold_left
+                         (fun acc x ->
+                           let* acc = acc in
+                           match int_of_string_opt x with
+                           | Some v -> Ok (v :: acc)
+                           | None -> fail num "bad valve id %S" x)
+                         (Ok [])
+                  in
+                  Ok (List.rev_append parsed acc))
+                (Ok []) ids
+            in
+            let valve_ids = List.rev valve_ids in
+            let valves = List.map (Fpva.edge_of_valve fpva) valve_ids in
+            Ok (`Cut { Cut_set.valves; valve_ids; corners = [] }, rest)
+          | _, { num; _ } :: _ -> fail num "structure line does not match kind"
+          | _, [] -> fail vnum "truncated vector"
+        in
+        let* states, body =
+          match body with
+          | { num; words = [ "states"; bits ]; _ } :: rest ->
+            let* b = bools_of_bits num bits in
+            Ok (b, rest)
+          | { num; _ } :: _ -> fail num "expected 'states <bits>'"
+          | [] -> fail vnum "truncated vector"
+        in
+        let* golden, body =
+          match body with
+          | { num; words = [ "golden"; bits ]; _ } :: rest ->
+            let* b = bools_of_bits num bits in
+            Ok (b, rest)
+          | { num; _ } :: _ -> fail num "expected 'golden <bits>'"
+          | [] -> fail vnum "truncated vector"
+        in
+        let* body =
+          match body with
+          | { words = [ "end" ]; _ } :: rest -> Ok rest
+          | { num; _ } :: _ -> fail num "expected 'end'"
+          | [] -> fail vnum "missing 'end'"
+        in
+        let vector =
+          match structure with
+          | `Path (`Flow, path) -> Test_vector.of_flow_path ~label fpva path
+          | `Path (`Leak, path) -> Test_vector.of_leak_path ~label fpva path
+          | `Path (`Pierced v, path) ->
+            Test_vector.of_pierced_path ~label fpva path v
+          | `Cut cut -> Test_vector.of_cut_set ~label fpva cut
+        in
+        if vector.Test_vector.open_valves <> states then
+          fail vnum "states do not match the regenerated structure"
+        else if vector.Test_vector.golden <> golden then
+          fail vnum "golden response does not match the architecture"
+        else begin
+          match Test_vector.well_formed fpva vector with
+          | Ok () -> vectors (vector :: acc) body
+          | Error msg -> fail vnum "malformed vector: %s" msg
+        end
+      in
+      vectors [] body
+    | _ -> Error "truncated header")
+  | { num; _ } :: _ -> fail num "expected 'fpva-suite 1'"
+  | [] -> Error "empty suite"
+
+let read_file path fpva =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string fpva text

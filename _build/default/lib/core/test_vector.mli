@@ -1,0 +1,56 @@
+(** Test vectors.
+
+    A test vector assigns an open/closed state to {e every} valve of the
+    chip (the paper's output format), together with the golden (fault-free)
+    response: which ports see pressure when the sources are driven.  The
+    golden response is computed by reachability on the nominal architecture,
+    so it automatically accounts for open channels, walls and multi-port
+    layouts. *)
+
+open Fpva_grid
+
+type kind =
+  | Flow of Flow_path.t
+      (** opens exactly the path's valves; expects pressure at the path's
+          sink — detects stuck-at-0 on the path *)
+  | Cut of Cut_set.t
+      (** closes exactly the cut's valves; expects no sink pressure —
+          detects stuck-at-1 in the cut *)
+  | Leak of Flow_path.t
+      (** flow-path vector generated for control-leakage pairs: the path's
+          valves open, aggressor valves (everything else) actuated *)
+  | Pierced of Flow_path.t * int
+      (** a flow path with one of its own valves commanded closed: the sink
+          must stay dark, and a stuck-at-1 fault at exactly that valve
+          re-completes the path — the targeted stuck-at-1 probe used for
+          valves that are essential in no reasonable cut-set *)
+
+type t = {
+  label : string;
+  kind : kind;
+  open_valves : bool array;  (** by valve id; [true] = valve held open *)
+  golden : bool array;  (** by port index; expected pressure presence *)
+}
+
+val golden_response : Fpva.t -> open_valves:bool array -> bool array
+(** Fault-free port pressures under a valve-state assignment. *)
+
+val of_flow_path : ?label:string -> Fpva.t -> Flow_path.t -> t
+
+val of_cut_set : ?label:string -> Fpva.t -> Cut_set.t -> t
+
+val of_leak_path : ?label:string -> Fpva.t -> Flow_path.t -> t
+
+val of_pierced_path : ?label:string -> Fpva.t -> Flow_path.t -> int -> t
+(** [of_pierced_path t path v] — [v] must be one of [path]'s valves.
+    @raise Invalid_argument otherwise. *)
+
+val open_count : t -> int
+
+val well_formed : Fpva.t -> t -> (unit, string) result
+(** Sanity audit: array sizes match the chip; a [Flow]/[Leak] vector opens
+    exactly its path's valves and its golden response shows pressure at the
+    path sink; a [Cut] vector closes exactly its cut and its golden
+    response shows no sink pressure. *)
+
+val pp : Format.formatter -> t -> unit

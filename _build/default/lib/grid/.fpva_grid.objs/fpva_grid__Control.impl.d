@@ -1,0 +1,1 @@
+lib/grid/control.ml: Array Coord Fpva Hashtbl List

@@ -1,0 +1,1 @@
+lib/grid/control.mli: Fpva

@@ -1,0 +1,1 @@
+lib/grid/dual.ml: Array Coord Format Fpva Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/grid/dual.mli: Coord Format Fpva

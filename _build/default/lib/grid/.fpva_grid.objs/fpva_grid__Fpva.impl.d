@@ -1,0 +1,1 @@
+lib/grid/fpva.ml: Array Coord Fpva_util Hashtbl List Printf

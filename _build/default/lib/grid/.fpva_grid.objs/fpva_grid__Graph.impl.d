@@ -1,0 +1,1 @@
+lib/grid/graph.ml: Array Coord Format Fpva List Queue

@@ -1,0 +1,1 @@
+lib/grid/graph.mli: Coord Format Fpva

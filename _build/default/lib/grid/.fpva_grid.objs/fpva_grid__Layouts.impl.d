@@ -1,0 +1,1 @@
+lib/grid/layouts.ml: Coord Fpva List Printf

@@ -1,0 +1,1 @@
+lib/grid/layouts.mli: Fpva

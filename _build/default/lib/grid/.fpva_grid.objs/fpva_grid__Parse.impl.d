@@ -1,0 +1,1 @@
+lib/grid/parse.ml: Array Coord Fpva List Printf String

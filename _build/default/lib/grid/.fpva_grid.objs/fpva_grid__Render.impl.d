@@ -1,0 +1,1 @@
+lib/grid/render.ml: Array Char Coord Fpva List String

@@ -1,0 +1,109 @@
+(** The FPVA architecture model.
+
+    An FPVA is a grid of fluid cells with a valve at (almost) every internal
+    edge.  Following the paper's problem formulation, the model records:
+
+    - the locations of valves that are {e not built} on flow channels
+      (conceptually always open) — edge state {!Open_channel};
+    - the locations of obstacles (conceptually always closed) — obstacle
+      cells, whose surrounding edges become {!Wall};
+    - the locations of air-pressure sources and pressure meters (ports).
+
+    Ports sit on the chip boundary and attach to a boundary cell; the
+    opening between a port and its cell is always open (the external tube).
+    All other positions on the chip boundary are permanently sealed, as in
+    the paper ("valves at the external boundary of the chip are always
+    closed").
+
+    Valves are the testable entities; they are densely numbered so that test
+    vectors and fault lists can be plain arrays. *)
+
+type edge_state =
+  | Valve  (** a controllable, testable valve *)
+  | Open_channel  (** no valve built: fluid always passes *)
+  | Wall  (** no connection (obstacle border or explicitly sealed) *)
+
+type cell_state = Fluid | Obstacle
+
+type port_kind = Source | Sink
+
+type port = {
+  side : Coord.dir;  (** which chip edge the port pierces *)
+  offset : int;  (** row (for E/W sides) or column (N/S) of the boundary cell *)
+  kind : port_kind;
+}
+
+type t
+
+(** {2 Construction} *)
+
+val create : rows:int -> cols:int -> t
+(** A full array: every cell [Fluid], every internal edge [Valve], no ports.
+    @raise Invalid_argument unless [rows >= 1 && cols >= 1]. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val set_edge : t -> Coord.edge -> edge_state -> unit
+(** Override the state of an internal edge.
+    @raise Invalid_argument if the edge is not internal to the grid or
+    touches an obstacle cell (those edges are permanently [Wall]). *)
+
+val set_obstacle : t -> Coord.cell -> unit
+(** Mark a cell as an obstacle; all edges incident to it become [Wall]. *)
+
+val add_port : t -> port -> unit
+(** @raise Invalid_argument if the port is off the chip or its boundary cell
+    is an obstacle, or an identical port already exists. *)
+
+(** {2 Interrogation} *)
+
+val in_bounds : t -> Coord.cell -> bool
+
+val edge_in_bounds : t -> Coord.edge -> bool
+(** True for internal edges (both endpoint cells on the chip). *)
+
+val cell_state : t -> Coord.cell -> cell_state
+
+val edge_state : t -> Coord.edge -> edge_state
+(** @raise Invalid_argument if the edge is not internal. *)
+
+val ports : t -> port array
+
+val sources : t -> port array
+
+val sinks : t -> port array
+
+val port_cell : t -> port -> Coord.cell
+(** The boundary cell a port attaches to. *)
+
+(** {2 Valve numbering} *)
+
+val num_valves : t -> int
+
+val valves : t -> Coord.edge array
+(** All [Valve] edges in a stable canonical order; index [i] of this array
+    is the valve id used throughout test vectors and fault lists. *)
+
+val valve_id : t -> Coord.edge -> int
+(** @raise Not_found if the edge is not (any longer) a valve. *)
+
+val valve_id_opt : t -> Coord.edge -> int option
+
+val edge_of_valve : t -> int -> Coord.edge
+(** Inverse of {!valve_id}.  @raise Invalid_argument if out of range. *)
+
+(** {2 Validation} *)
+
+val validate : t -> (unit, string) result
+(** Checks the structural invariants the generators rely on: at least one
+    source and one sink, all port cells fluid, and the fluid region
+    reachable from some port when every valve is open (unreachable fluid
+    cells are untestable and must be declared obstacles instead). *)
+
+val fluid_cells : t -> Coord.cell list
+(** All cells whose state is [Fluid], row-major. *)
+
+val copy : t -> t
+(** Deep copy (ports included). *)

@@ -1,0 +1,98 @@
+type node = Cell of Coord.cell | Port of int
+
+let compare_node a b =
+  match (a, b) with
+  | Cell x, Cell y -> Coord.compare_cell x y
+  | Port i, Port j -> compare i j
+  | Cell _, Port _ -> -1
+  | Port _, Cell _ -> 1
+
+let pp_node ppf = function
+  | Cell c -> Format.fprintf ppf "cell%a" Coord.pp_cell c
+  | Port i -> Format.fprintf ppf "port#%d" i
+
+let cell_neighbors t ~open_edge c =
+  let step acc d =
+    let n = Coord.move c d in
+    if Fpva.in_bounds t n && Fpva.cell_state t n = Fpva.Fluid then begin
+      let e = Coord.edge_towards c d in
+      match Fpva.edge_state t e with
+      | Fpva.Wall -> acc
+      | Fpva.Open_channel -> (Cell n, Some e) :: acc
+      | Fpva.Valve -> if open_edge e then (Cell n, Some e) :: acc else acc
+    end
+    else acc
+  in
+  List.fold_left step [] Coord.all_dirs
+
+let ports_at t c =
+  let out = ref [] in
+  Array.iteri
+    (fun i p -> if Fpva.port_cell t p = c then out := (Port i, None) :: !out)
+    (Fpva.ports t);
+  !out
+
+let neighbors t ~open_edge = function
+  | Port i ->
+    let p = (Fpva.ports t).(i) in
+    [ (Cell (Fpva.port_cell t p), None) ]
+  | Cell c -> cell_neighbors t ~open_edge c @ ports_at t c
+
+(* BFS over at most rows*cols + #ports nodes. *)
+let bfs t ~open_edge ~from =
+  let nr = Fpva.rows t and nc = Fpva.cols t in
+  let nports = Array.length (Fpva.ports t) in
+  let seen_cell = Array.make (nr * nc) false in
+  let seen_port = Array.make (max nports 1) false in
+  let mark = function
+    | Cell c ->
+      let i = (c.Coord.row * nc) + c.Coord.col in
+      if seen_cell.(i) then true
+      else begin
+        seen_cell.(i) <- true;
+        false
+      end
+    | Port i ->
+      if seen_port.(i) then true
+      else begin
+        seen_port.(i) <- true;
+        false
+      end
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun n -> if not (mark n) then Queue.add n queue)
+    from;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun (m, _) -> if not (mark m) then Queue.add m queue)
+      (neighbors t ~open_edge n)
+  done;
+  (seen_cell, seen_port)
+
+let reachable t ~open_edge ~from n =
+  let seen_cell, seen_port = bfs t ~open_edge ~from in
+  match n with
+  | Cell c -> seen_cell.((c.Coord.row * Fpva.cols t) + c.Coord.col)
+  | Port i -> seen_port.(i)
+
+let source_nodes t =
+  let out = ref [] in
+  Array.iteri
+    (fun i p -> if p.Fpva.kind = Fpva.Source then out := Port i :: !out)
+    (Fpva.ports t);
+  !out
+
+let pressurized_sinks t ~open_edge =
+  let _, seen_port = bfs t ~open_edge ~from:(source_nodes t) in
+  Array.mapi (fun i _ -> seen_port.(i)) (Fpva.ports t)
+
+let separates t ~closed_edge =
+  let open_edge e = not (closed_edge e) in
+  let pressure = pressurized_sinks t ~open_edge in
+  let ok = ref true in
+  Array.iteri
+    (fun i p -> if p.Fpva.kind = Fpva.Sink && pressure.(i) then ok := false)
+    (Fpva.ports t);
+  !ok

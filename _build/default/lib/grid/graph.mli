@@ -1,0 +1,36 @@
+(** Primal grid-graph view of an FPVA: fluid cells and ports as nodes.
+
+    Used by the pressure simulator (source reachability = pressure) and by
+    the test generators (path existence, cut verification).  Edge
+    passability is a parameter: callers decide which valves count as open
+    — nominal states for generation, faulty states for simulation. *)
+
+type node = Cell of Coord.cell | Port of int  (** index into [Fpva.ports] *)
+
+val compare_node : node -> node -> int
+
+val pp_node : Format.formatter -> node -> unit
+
+val neighbors :
+  Fpva.t -> open_edge:(Coord.edge -> bool) -> node -> (node * Coord.edge option) list
+(** Adjacent nodes reachable through passable connections.  A [Port] is
+    adjacent (only) to its boundary cell; that hop carries no internal edge,
+    hence the [option].  A cell–cell hop requires [open_edge e = true] for
+    the internal edge between them, the far cell fluid, and is annotated
+    with that edge. *)
+
+val reachable :
+  Fpva.t -> open_edge:(Coord.edge -> bool) -> from:node list -> node -> bool
+(** [reachable t ~open_edge ~from n] — is [n] reachable from any node of
+    [from]?  (BFS; O(cells).) *)
+
+val pressurized_sinks :
+  Fpva.t -> open_edge:(Coord.edge -> bool) -> bool array
+(** For every port (indexed as in [Fpva.ports t]): [true] iff it is
+    connected to some source port.  Entries for source ports report their
+    own connectivity to {e another} source or themselves ([true]). *)
+
+val separates : Fpva.t -> closed_edge:(Coord.edge -> bool) -> bool
+(** [separates t ~closed_edge] — with exactly the edges for which
+    [closed_edge] holds impassable (in addition to walls), is every sink
+    disconnected from every source? *)

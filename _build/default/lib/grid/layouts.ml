@@ -1,0 +1,59 @@
+let with_default_ports t =
+  let mid_row = Fpva.rows t / 2 in
+  Fpva.add_port t { Fpva.side = Coord.West; offset = mid_row; kind = Fpva.Source };
+  Fpva.add_port t { Fpva.side = Coord.East; offset = mid_row; kind = Fpva.Sink };
+  t
+
+let full ~rows ~cols = with_default_ports (Fpva.create ~rows ~cols)
+
+let carve_row_channel t ~row ~from_col ~to_col =
+  for c = from_col to to_col - 1 do
+    Fpva.set_edge t (Coord.E (Coord.cell row c)) Fpva.Open_channel
+  done
+
+let carve_col_channel t ~col ~from_row ~to_row =
+  for r = from_row to to_row - 1 do
+    Fpva.set_edge t (Coord.S (Coord.cell r col)) Fpva.Open_channel
+  done
+
+let add_obstacle_block t ~row ~col ~height ~width =
+  for r = row to row + height - 1 do
+    for c = col to col + width - 1 do
+      Fpva.set_obstacle t (Coord.cell r c)
+    done
+  done
+
+(* One open site per complete 5x5 subblock, at a fixed interior position, so
+   the valve count is 2n(n-1) - (n/5)^2, matching Table I exactly. *)
+let paper_array n =
+  let t = Fpva.create ~rows:n ~cols:n in
+  let blocks = n / 5 in
+  for bi = 0 to blocks - 1 do
+    for bj = 0 to blocks - 1 do
+      let site = Coord.E (Coord.cell ((bi * 5) + 2) ((bj * 5) + 1)) in
+      if Fpva.edge_in_bounds t site then
+        Fpva.set_edge t site Fpva.Open_channel
+    done
+  done;
+  with_default_ports t
+
+let paper_suite =
+  List.map
+    (fun n -> (Printf.sprintf "%dx%d" n n, paper_array n))
+    [ 5; 10; 15; 20; 30 ]
+
+let figure8 () =
+  let t = Fpva.create ~rows:10 ~cols:10 in
+  Fpva.add_port t { Fpva.side = Coord.West; offset = 0; kind = Fpva.Source };
+  Fpva.add_port t { Fpva.side = Coord.West; offset = 9; kind = Fpva.Sink };
+  Fpva.add_port t { Fpva.side = Coord.North; offset = 9; kind = Fpva.Sink };
+  t
+
+let figure9 () =
+  let t = Fpva.create ~rows:20 ~cols:20 in
+  carve_row_channel t ~row:3 ~from_col:2 ~to_col:17;
+  carve_row_channel t ~row:16 ~from_col:2 ~to_col:17;
+  carve_col_channel t ~col:6 ~from_row:6 ~to_row:13;
+  add_obstacle_block t ~row:7 ~col:12 ~height:2 ~width:2;
+  add_obstacle_block t ~row:11 ~col:16 ~height:2 ~width:2;
+  with_default_ports t

@@ -1,0 +1,106 @@
+let cell_pos (c : Coord.cell) = ((2 * c.row) + 1, (2 * c.col) + 1)
+
+let edge_pos = function
+  | Coord.E c -> ((2 * c.Coord.row) + 1, (2 * c.Coord.col) + 2)
+  | Coord.S c -> ((2 * c.Coord.row) + 2, (2 * c.Coord.col) + 1)
+
+let base_canvas t =
+  let h = (2 * Fpva.rows t) + 1 and w = (2 * Fpva.cols t) + 1 in
+  let canvas = Array.make_matrix h w ' ' in
+  (* Interior corners. *)
+  for i = 0 to Fpva.rows t do
+    for j = 0 to Fpva.cols t do
+      canvas.(2 * i).(2 * j) <- '+'
+    done
+  done;
+  (* Outline. *)
+  for x = 0 to w - 1 do
+    canvas.(0).(x) <- '#';
+    canvas.(h - 1).(x) <- '#'
+  done;
+  for y = 0 to h - 1 do
+    canvas.(y).(0) <- '#';
+    canvas.(y).(w - 1) <- '#'
+  done;
+  (* Cells. *)
+  List.iter
+    (fun c ->
+      let y, x = cell_pos c in
+      canvas.(y).(x) <- ' ')
+    (Fpva.fluid_cells t);
+  for r = 0 to Fpva.rows t - 1 do
+    for c = 0 to Fpva.cols t - 1 do
+      let cell = Coord.cell r c in
+      if Fpva.cell_state t cell = Fpva.Obstacle then begin
+        let y, x = cell_pos cell in
+        canvas.(y).(x) <- '#'
+      end
+    done
+  done;
+  (* Internal edges. *)
+  let draw_edge e vertical =
+    let y, x = edge_pos e in
+    let ch =
+      match Fpva.edge_state t e with
+      | Fpva.Valve -> if vertical then '|' else '-'
+      | Fpva.Open_channel -> ' '
+      | Fpva.Wall -> 'X'
+    in
+    canvas.(y).(x) <- ch
+  in
+  for r = 0 to Fpva.rows t - 1 do
+    for c = 0 to Fpva.cols t - 2 do
+      draw_edge (Coord.E (Coord.cell r c)) true
+    done
+  done;
+  for r = 0 to Fpva.rows t - 2 do
+    for c = 0 to Fpva.cols t - 1 do
+      draw_edge (Coord.S (Coord.cell r c)) false
+    done
+  done;
+  (* Ports pierce the outline next to their boundary cell. *)
+  Array.iter
+    (fun (p : Fpva.port) ->
+      let cell = Fpva.port_cell t p in
+      let cy, cx = cell_pos cell in
+      let y, x =
+        match p.Fpva.side with
+        | Coord.North -> (0, cx)
+        | Coord.South -> (h - 1, cx)
+        | Coord.West -> (cy, 0)
+        | Coord.East -> (cy, w - 1)
+      in
+      canvas.(y).(x) <-
+        (match p.Fpva.kind with Fpva.Source -> 'S' | Fpva.Sink -> 'M'))
+    (Fpva.ports t);
+  canvas
+
+let to_string canvas =
+  String.concat "\n"
+    (Array.to_list (Array.map (fun row -> String.init (Array.length row) (Array.get row)) canvas))
+
+let custom ?(cell_marks = []) ?(edge_marks = []) t =
+  let canvas = base_canvas t in
+  List.iter
+    (fun (c, ch) ->
+      if Fpva.in_bounds t c then begin
+        let y, x = cell_pos c in
+        canvas.(y).(x) <- ch
+      end)
+    cell_marks;
+  List.iter
+    (fun (e, ch) ->
+      if Fpva.edge_in_bounds t e then begin
+        let y, x = edge_pos e in
+        canvas.(y).(x) <- ch
+      end)
+    edge_marks;
+  to_string canvas
+
+let plain t = custom t
+
+let path_marks ~index cells edges =
+  let digit = Char.chr (Char.code '0' + (index mod 10)) in
+  (List.map (fun c -> (c, digit)) cells, List.map (fun e -> (e, digit)) edges)
+
+let cut_marks edges = List.map (fun e -> (e, 'x')) edges

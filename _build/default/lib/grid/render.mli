@@ -1,0 +1,33 @@
+(** ASCII rendering of FPVAs, flow paths and cut-sets (Figs. 8/9 style).
+
+    The canvas is a [(2*rows+1) x (2*cols+1)] character grid: cells at
+    odd/odd positions, valve sites between them, corners and the chip
+    outline elsewhere.  Legend of the default rendering:
+
+    - [' '] fluid cell, ['#'] obstacle cell / chip outline
+    - ['|'] / ['-'] valve (vertical / horizontal separator)
+    - [' '] open channel (no valve), ['X'] wall
+    - ['S'] source port, ['M'] pressure-meter (sink) port, piercing the
+      outline
+
+    [custom] overlays caller-chosen characters on cells and edges, which is
+    how paths (digits per path) and cut-sets (['x'] marks) are drawn. *)
+
+val plain : Fpva.t -> string
+(** The bare architecture. *)
+
+val custom :
+  ?cell_marks:(Coord.cell * char) list ->
+  ?edge_marks:(Coord.edge * char) list ->
+  Fpva.t ->
+  string
+(** [plain] plus overlays.  Marks outside the grid are ignored. *)
+
+val path_marks :
+  index:int -> Coord.cell list -> Coord.edge list ->
+  (Coord.cell * char) list * (Coord.edge * char) list
+(** Marks for one flow path: its cells and edges get the digit
+    [index mod 10] (paths are 1-based in reports). *)
+
+val cut_marks : Coord.edge list -> (Coord.edge * char) list
+(** Marks for a cut-set: every cut valve gets ['x']. *)

@@ -1,0 +1,1 @@
+lib/milp/branch_bound.ml: Array Float Fpva_util Lp Option Presolve Printf Simplex

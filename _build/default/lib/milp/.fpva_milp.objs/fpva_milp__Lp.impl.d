@@ -1,0 +1,1 @@
+lib/milp/lp.ml: Array Float Format Fpva_util Hashtbl List Option Printf

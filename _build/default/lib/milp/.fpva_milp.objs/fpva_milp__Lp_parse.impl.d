@@ -1,0 +1,1 @@
+lib/milp/lp_parse.ml: Fun Hashtbl List Lp Option Printf Result String

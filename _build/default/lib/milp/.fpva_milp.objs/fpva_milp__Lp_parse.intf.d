@@ -1,0 +1,1 @@
+lib/milp/lp_parse.mli: Lp

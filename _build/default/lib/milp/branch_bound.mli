@@ -1,0 +1,31 @@
+(** Exact MILP solving by LP-based branch and bound.
+
+    Depth-first search over variable-bound dichotomies; each node solves the
+    LP relaxation with {!Simplex}, prunes on bound, and harvests incumbents
+    both from integral LP optima and from a cheap rounding heuristic.  This
+    is the engine behind the paper's ILP models when solved exactly. *)
+
+type options = {
+  max_nodes : int;  (** node budget; the search stops cleanly when hit *)
+  time_limit : float;  (** seconds of wall clock; [infinity] disables *)
+  integrality_eps : float;
+  presolve : bool;  (** run {!Presolve.bounds} on the root node *)
+  log : (string -> unit) option;  (** per-improvement trace hook *)
+}
+
+val default_options : options
+(** 200 000 nodes, no time limit, [1e-6] integrality, presolve on, no
+    logging. *)
+
+type outcome =
+  | Optimal of Simplex.solution  (** proven optimal *)
+  | Feasible of Simplex.solution
+      (** search truncated by a budget, best incumbent returned *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** budget exhausted with no incumbent found *)
+
+val solve : ?options:options -> Lp.t -> outcome
+
+val solution_values : outcome -> float array option
+(** The incumbent point of an [Optimal]/[Feasible] outcome. *)

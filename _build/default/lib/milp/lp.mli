@@ -1,0 +1,95 @@
+(** Mixed-integer linear-program model builder.
+
+    A model is a set of bounded variables, linear constraints and a linear
+    objective.  The paper's test-generation models (eqs. (1)–(9)) are built
+    with this module and solved either by the LP relaxation ({!Simplex}) or
+    exactly ({!Branch_bound}).
+
+    Variables are identified by opaque handles; a handle is only valid for
+    the model that created it. *)
+
+type t
+
+type var
+
+type sense = Minimize | Maximize
+
+type kind =
+  | Continuous
+  | Integer
+  | Binary  (** integer with implicit bounds [0, 1] *)
+
+type relation = Le | Ge | Eq
+
+type term = float * var
+(** A coefficient–variable product. *)
+
+val create : ?name:string -> sense -> t
+(** [create sense] is an empty model optimising in direction [sense]. *)
+
+val name : t -> string
+
+val sense : t -> sense
+
+val add_var :
+  t -> ?name:string -> ?lower:float -> ?upper:float -> kind -> var
+(** [add_var t kind] declares a fresh variable.  Defaults: [lower] is [0.]
+    ([0.] for [Binary]), [upper] is [infinity] ([1.] for [Binary]).
+    Use [neg_infinity] for a free lower bound.
+    @raise Invalid_argument if [lower > upper]. *)
+
+val add_constr : t -> ?name:string -> term list -> relation -> float -> unit
+(** [add_constr t terms rel rhs] adds the constraint [terms rel rhs].
+    Repeated variables in [terms] are summed. *)
+
+val set_objective : t -> ?constant:float -> term list -> unit
+(** Replaces the objective function.  The default objective is [0]. *)
+
+val var_index : var -> int
+(** Dense 0-based index of a variable (also its slot in solution arrays). *)
+
+val num_vars : t -> int
+
+val num_constrs : t -> int
+
+(** {2 Introspection (used by the solvers and tests)} *)
+
+val var_name : t -> var -> string
+
+val var_of_index : t -> int -> var
+(** @raise Invalid_argument if out of range. *)
+
+val var_lower : t -> var -> float
+
+val var_upper : t -> var -> float
+
+val var_kind : t -> var -> kind
+
+val is_integral_kind : kind -> bool
+
+val objective_terms : t -> term list
+
+val objective_constant : t -> float
+
+val constr_terms : t -> int -> term list
+(** Terms of the [i]th constraint, with duplicate variables merged. *)
+
+val constr_relation : t -> int -> relation
+
+val constr_rhs : t -> int -> float
+
+val constr_name : t -> int -> string
+
+val eval_terms : term list -> float array -> float
+(** [eval_terms terms x] is the value of the linear form at point [x]
+    (indexed by {!var_index}). *)
+
+val check_feasible : ?eps:float -> t -> float array -> bool
+(** [check_feasible t x] tests bounds, constraints and integrality of [x]
+    within tolerance [eps] (default [1e-6]). *)
+
+val objective_value : t -> float array -> float
+(** Objective value at a point, including the constant term. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of the whole model (LP-like syntax). *)

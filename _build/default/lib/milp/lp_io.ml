@@ -1,0 +1,61 @@
+let add_terms lp buf terms =
+  if terms = [] then Buffer.add_string buf " 0"
+  else
+    List.iteri
+      (fun i (c, v) ->
+        let sign = if c < 0.0 then " - " else if i = 0 then " " else " + " in
+        Buffer.add_string buf sign;
+        let mag = abs_float c in
+        if mag <> 1.0 then Buffer.add_string buf (Printf.sprintf "%.12g " mag);
+        Buffer.add_string buf (Lp.var_name lp v))
+      terms
+
+let to_string lp =
+  let buf = Buffer.create 4096 in
+  (match Lp.sense lp with
+  | Lp.Minimize -> Buffer.add_string buf "Minimize\n obj:"
+  | Lp.Maximize -> Buffer.add_string buf "Maximize\n obj:");
+  add_terms lp buf (Lp.objective_terms lp);
+  Buffer.add_string buf "\nSubject To\n";
+  for i = 0 to Lp.num_constrs lp - 1 do
+    Buffer.add_string buf (Printf.sprintf " %s:" (Lp.constr_name lp i));
+    add_terms lp buf (Lp.constr_terms lp i);
+    let rel =
+      match Lp.constr_relation lp i with
+      | Lp.Le -> "<="
+      | Lp.Ge -> ">="
+      | Lp.Eq -> "="
+    in
+    Buffer.add_string buf
+      (Printf.sprintf " %s %.12g\n" rel (Lp.constr_rhs lp i))
+  done;
+  Buffer.add_string buf "Bounds\n";
+  let generals = Buffer.create 256 and binaries = Buffer.create 256 in
+  for j = 0 to Lp.num_vars lp - 1 do
+    let v = Lp.var_of_index lp j in
+    let name = Lp.var_name lp v in
+    let lo = Lp.var_lower lp v and hi = Lp.var_upper lp v in
+    (match Lp.var_kind lp v with
+    | Lp.Binary -> Buffer.add_string binaries (Printf.sprintf " %s\n" name)
+    | Lp.Integer -> Buffer.add_string generals (Printf.sprintf " %s\n" name)
+    | Lp.Continuous -> ());
+    let lo_s = if lo = neg_infinity then "-inf" else Printf.sprintf "%.12g" lo in
+    let hi_s = if hi = infinity then "+inf" else Printf.sprintf "%.12g" hi in
+    Buffer.add_string buf (Printf.sprintf " %s <= %s <= %s\n" lo_s name hi_s)
+  done;
+  if Buffer.length generals > 0 then begin
+    Buffer.add_string buf "General\n";
+    Buffer.add_buffer buf generals
+  end;
+  if Buffer.length binaries > 0 then begin
+    Buffer.add_string buf "Binary\n";
+    Buffer.add_buffer buf binaries
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write_file path lp =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string lp))

@@ -1,0 +1,11 @@
+(** Serialisation of models in (a subset of) the CPLEX LP text format.
+
+    Useful for eyeballing generated test-generation models and for feeding
+    them to an external solver when one is available. *)
+
+val to_string : Lp.t -> string
+(** Render the model: objective, [Subject To], [Bounds], [General]/[Binary]
+    sections and [End]. *)
+
+val write_file : string -> Lp.t -> unit
+(** [write_file path lp] writes [to_string lp] to [path]. *)

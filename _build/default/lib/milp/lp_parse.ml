@@ -1,0 +1,349 @@
+(* Recursive-descent parser over a token stream per line.  The LP format is
+   line-oriented except that expressions may wrap; we treat section keywords
+   as separators and glue everything between them. *)
+
+type section =
+  | Objective of Lp.sense
+  | Subject_to
+  | Bounds
+  | General
+  | Binary
+  | End
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let section_of_line line =
+  match String.lowercase_ascii (String.trim line) with
+  | "maximize" | "max" -> Some (Objective Lp.Maximize)
+  | "minimize" | "min" -> Some (Objective Lp.Minimize)
+  | "subject to" | "st" | "s.t." | "such that" -> Some Subject_to
+  | "bounds" -> Some Bounds
+  | "general" | "generals" | "gen" -> Some General
+  | "binary" | "binaries" | "bin" -> Some Binary
+  | "end" -> Some End
+  | _ -> None
+
+(* Tokenise an expression body: numbers, names, operators. *)
+type token = Num of float | Name of string | Plus | Minus | Cmp of Lp.relation | Colon
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '.' || ch = ',' || ch = '(' || ch = ')' || ch = '['
+  || ch = ']' || ch = '{' || ch = '}'
+
+let is_num_start ch = (ch >= '0' && ch <= '9') || ch = '.'
+
+let tokenize body =
+  let n = String.length body in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      let ch = body.[i] in
+      if ch = ' ' || ch = '\t' || ch = '\r' then go (i + 1) acc
+      else if ch = '+' then go (i + 1) (Plus :: acc)
+      else if ch = '-' then go (i + 1) (Minus :: acc)
+      else if ch = ':' then go (i + 1) (Colon :: acc)
+      else if ch = '<' || ch = '>' || ch = '=' then begin
+        let rel = if ch = '<' then Lp.Le else if ch = '>' then Lp.Ge else Lp.Eq in
+        let j = if i + 1 < n && body.[i + 1] = '=' then i + 2 else i + 1 in
+        go j (Cmp rel :: acc)
+      end
+      else if is_num_start ch then begin
+        let j = ref i in
+        while
+          !j < n
+          && (is_num_start body.[!j]
+             || body.[!j] = 'e' || body.[!j] = 'E'
+             || (!j > i
+                && (body.[!j] = '+' || body.[!j] = '-')
+                && (body.[!j - 1] = 'e' || body.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        match float_of_string_opt (String.sub body i (!j - i)) with
+        | Some f ->
+          go !j (Num f :: acc)
+        | None -> fail "bad number at %S" (String.sub body i (!j - i))
+      end
+      else if is_name_char ch then begin
+        let j = ref i in
+        while !j < n && is_name_char body.[!j] do
+          incr j
+        done;
+        let word = String.sub body i (!j - i) in
+        match String.lowercase_ascii word with
+        | "inf" | "infinity" -> go !j (Num infinity :: acc)
+        | _ -> go !j (Name word :: acc)
+      end
+      else fail "unexpected character %C" ch
+    end
+  in
+  go 0 []
+
+(* expr := [name :] (term | constant)*  — returns
+   (label option, terms, constant, leftover) where leftover begins at a
+   comparison operator or is empty.  Bare numbers are constant addends
+   (e.g. the "0" Lp_io prints for an empty expression). *)
+let parse_terms tokens =
+  (* strip optional label *)
+  let label, tokens =
+    match tokens with
+    | Name l :: Colon :: rest -> (Some l, rest)
+    | _ -> (None, tokens)
+  in
+  let rec go sign coef_seen coef constant acc = function
+    | Plus :: rest ->
+      let constant = if coef_seen then constant +. (sign *. coef) else constant in
+      go 1.0 false 1.0 constant acc rest
+    | Minus :: rest ->
+      let constant = if coef_seen then constant +. (sign *. coef) else constant in
+      go (-1.0) false 1.0 constant acc rest
+    | Num f :: rest ->
+      if coef_seen then Error "two numbers in a row"
+      else go sign true f constant acc rest
+    | Name v :: rest ->
+      ignore coef_seen;
+      go 1.0 false 1.0 constant ((sign *. coef, v) :: acc) rest
+    | (Cmp _ :: _ | []) as leftover ->
+      let constant = if coef_seen then constant +. (sign *. coef) else constant in
+      Ok (label, List.rev acc, constant, leftover)
+    | Colon :: _ -> Error "unexpected ':'"
+  in
+  go 1.0 false 1.0 0.0 [] tokens
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* split into sections *)
+  let sections = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (sec, body) -> sections := (sec, List.rev body) :: !sections
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let line =
+        match String.index_opt raw '\\' with
+        | Some k -> String.sub raw 0 k
+        | None -> raw
+      in
+      match section_of_line line with
+      | Some sec ->
+        flush ();
+        current := Some (sec, [])
+      | None ->
+        if String.trim line <> "" then begin
+          match !current with
+          | Some (sec, body) -> current := Some (sec, (i + 1, line) :: body)
+          | None -> ()
+        end)
+    lines;
+  flush ();
+  let sections = List.rev !sections in
+  let lp = ref None in
+  let vars = Hashtbl.create 64 in
+  let get_lp () =
+    match !lp with
+    | Some m -> Ok m
+    | None -> fail "missing objective section"
+  in
+  let var_of m name =
+    match Hashtbl.find_opt vars name with
+    | Some v -> v
+    | None ->
+      let v =
+        Lp.add_var m ~name ~lower:neg_infinity ~upper:infinity Lp.Continuous
+      in
+      Hashtbl.add vars name v;
+      v
+  in
+  (* Variables created while parsing get free bounds; LP-format default is
+     [0, +inf), applied at the end for variables with no Bounds line. *)
+  let explicit_bounds = Hashtbl.create 64 in
+  let kinds = Hashtbl.create 16 in
+  let pending_bounds = ref [] in
+  let ( let* ) = Result.bind in
+  let process (sec, body) =
+    match sec with
+    | Objective sense ->
+      let m = Lp.create sense in
+      lp := Some m;
+      let text = String.concat " " (List.map snd body) in
+      let* tokens = tokenize text in
+      let* _, terms, constant, leftover = parse_terms tokens in
+      if leftover <> [] then fail "objective has a comparison"
+      else begin
+        Lp.set_objective m ~constant
+          (List.map (fun (c, n) -> (c, var_of m n)) terms);
+        Ok ()
+      end
+    | Subject_to ->
+      let* m = get_lp () in
+      let rec rows = function
+        | [] -> Ok ()
+        | (num, line) :: rest ->
+          let* tokens = tokenize line in
+          let* label, terms, constant, leftover = parse_terms tokens in
+          (match leftover with
+          | [ Cmp rel; Num rhs ] ->
+            Lp.add_constr m ?name:label
+              (List.map (fun (c, n) -> (c, var_of m n)) terms)
+              rel (rhs -. constant);
+            rows rest
+          | [ Cmp rel; Minus; Num rhs ] ->
+            Lp.add_constr m ?name:label
+              (List.map (fun (c, n) -> (c, var_of m n)) terms)
+              rel (-.rhs -. constant);
+            rows rest
+          | _ -> fail "line %d: expected '<= rhs'" num)
+      in
+      rows body
+    | Bounds ->
+      let* m = get_lp () in
+      let rec bounds_lines = function
+        | [] -> Ok ()
+        | (num, line) :: rest ->
+          let* tokens = tokenize line in
+          (* forms: lo <= x <= hi | x <= hi | x >= lo | x = v | -inf <= x ... *)
+          let norm = function
+            | [ Minus; Num a ] -> Some (-.a)
+            | [ Num a ] -> Some a
+            | _ -> None
+          in
+          (match tokens with
+          | [ Name x; Cmp Lp.Le; Num hi ] ->
+            pending_bounds := (x, None, Some hi) :: !pending_bounds;
+            ignore (var_of m x);
+            bounds_lines rest
+          | [ Name x; Cmp Lp.Ge; Num lo ] ->
+            pending_bounds := (x, Some lo, None) :: !pending_bounds;
+            ignore (var_of m x);
+            bounds_lines rest
+          | [ Name x; Cmp Lp.Eq; Num v ] ->
+            pending_bounds := (x, Some v, Some v) :: !pending_bounds;
+            ignore (var_of m x);
+            bounds_lines rest
+          | [ Name x; Cmp Lp.Eq; Minus; Num v ] ->
+            pending_bounds := (x, Some (-.v), Some (-.v)) :: !pending_bounds;
+            ignore (var_of m x);
+            bounds_lines rest
+          | _ -> (
+            (* lo <= x <= hi with optional leading minus on both *)
+            let rec split_at_name acc = function
+              | Name x :: rest -> Some (List.rev acc, x, rest)
+              | tok :: rest -> split_at_name (tok :: acc) rest
+              | [] -> None
+            in
+            match split_at_name [] tokens with
+            | Some (lo_part, x, hi_part) -> (
+              let lo =
+                match lo_part with
+                | [] -> None
+                | toks -> (
+                  match
+                    (* strip trailing <= *)
+                    List.rev toks
+                  with
+                  | Cmp Lp.Le :: rest_rev -> norm (List.rev rest_rev)
+                  | _ -> None)
+              in
+              let hi =
+                match hi_part with
+                | [] -> None
+                | Cmp Lp.Le :: rest -> norm rest
+                | _ -> None
+              in
+              match (lo_part, lo, hi_part, hi) with
+              | [], _, _, _ | _, Some _, [], _ | _, Some _, _, Some _ ->
+                pending_bounds := (x, lo, hi) :: !pending_bounds;
+                ignore (var_of m x);
+                bounds_lines rest
+              | _ -> fail "line %d: bad bounds" num)
+            | None -> fail "line %d: bad bounds" num))
+      in
+      bounds_lines body
+    | General | Binary ->
+      let* m = get_lp () in
+      List.iter
+        (fun (_, line) ->
+          List.iter
+            (fun w ->
+              if w <> "" then begin
+                ignore (var_of m w);
+                Hashtbl.replace kinds w
+                  (if sec = Binary then Lp.Binary else Lp.Integer)
+              end)
+            (String.split_on_char ' ' (String.trim line)))
+        body;
+      Ok ()
+    | End -> Ok ()
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | sec :: rest ->
+      let* () = process sec in
+      run rest
+  in
+  match run sections with
+  | Error _ as e -> e
+  | Ok () -> (
+    match !lp with
+    | None -> fail "no objective section"
+    | Some m ->
+      (* Rebuild the model with resolved bounds and kinds: the builder does
+         not allow mutating bounds after creation, so emit a fresh model. *)
+      ignore explicit_bounds;
+      let final = Lp.create ~name:(Lp.name m) (Lp.sense m) in
+      let mapping = Hashtbl.create 64 in
+      for j = 0 to Lp.num_vars m - 1 do
+        let v = Lp.var_of_index m j in
+        let name = Lp.var_name m v in
+        let kind = Option.value (Hashtbl.find_opt kinds name) ~default:Lp.Continuous in
+        let lo, hi =
+          let explicit =
+            List.fold_left
+              (fun acc (x, lo, hi) -> if x = name then Some (lo, hi) else acc)
+              None !pending_bounds
+          in
+          match explicit with
+          | Some (lo, hi) ->
+            ( Option.value lo ~default:0.0,
+              Option.value hi ~default:infinity )
+          | None -> (
+            match kind with
+            | Lp.Binary -> (0.0, 1.0)
+            | Lp.Continuous | Lp.Integer -> (0.0, infinity))
+        in
+        let v' = Lp.add_var final ~name ~lower:lo ~upper:hi kind in
+        Hashtbl.add mapping (Lp.var_index v) v'
+      done;
+      let remap terms =
+        List.map (fun (c, v) -> (c, Hashtbl.find mapping (Lp.var_index v))) terms
+      in
+      for i = 0 to Lp.num_constrs m - 1 do
+        Lp.add_constr final
+          ~name:(Lp.constr_name m i)
+          (remap (Lp.constr_terms m i))
+          (Lp.constr_relation m i) (Lp.constr_rhs m i)
+      done;
+      Lp.set_objective final
+        ~constant:(Lp.objective_constant m)
+        (remap (Lp.objective_terms m));
+      Ok final)
+
+let parse_exn text =
+  match parse text with
+  | Ok lp -> lp
+  | Error msg -> invalid_arg ("Lp_parse.parse_exn: " ^ msg)
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text

@@ -1,0 +1,21 @@
+(** Parsing models in the CPLEX LP text format (the subset {!Lp_io} emits).
+
+    Enables round-tripping generated models to disk, hand-editing them, and
+    importing instances produced by other tools.  Supported grammar:
+
+    - objective section: [Maximize]/[Minimize] then [name: expr];
+    - [Subject To] with one [name: expr (<=|>=|=) rhs] per line;
+    - [Bounds] with [lo <= name <= hi] lines ([-inf]/[+inf] accepted);
+    - optional [General] and [Binary] sections listing variable names;
+    - [End].
+
+    Linear expressions are sums of [[sign] [coefficient] name] terms.
+    Variables are created in first-appearance order; names are preserved. *)
+
+val parse : string -> (Lp.t, string) result
+(** Errors carry a line number. *)
+
+val parse_exn : string -> Lp.t
+(** @raise Invalid_argument on malformed input. *)
+
+val read_file : string -> (Lp.t, string) result

@@ -1,0 +1,113 @@
+type result =
+  | Tightened of {
+      lower : float array;
+      upper : float array;
+      rounds : int;
+      fixed : int;
+    }
+  | Proven_infeasible
+
+let eps = 1e-9
+
+exception Infeasible
+
+(* One directional pass over [sum a_j x_j <= b]: tighten using minimum
+   activities.  Returns true if some bound moved. *)
+let propagate_le lower upper integral terms b =
+  (* minimum activity and whether it is finite *)
+  let min_act = ref 0.0 in
+  let inf_terms = ref 0 in
+  List.iter
+    (fun (a, j) ->
+      let contrib = if a > 0.0 then a *. lower.(j) else a *. upper.(j) in
+      if Float.is_finite contrib then min_act := !min_act +. contrib
+      else incr inf_terms)
+    terms;
+  if !inf_terms = 0 && !min_act > b +. 1e-7 then raise Infeasible;
+  let changed = ref false in
+  List.iter
+    (fun (a, j) ->
+      if a <> 0.0 then begin
+        let own = if a > 0.0 then a *. lower.(j) else a *. upper.(j) in
+        let rest_finite =
+          if Float.is_finite own then !inf_terms = 0 else !inf_terms = 1
+        in
+        if rest_finite then begin
+          let rest =
+            if Float.is_finite own then !min_act -. own else !min_act
+          in
+          let limit = (b -. rest) /. a in
+          if a > 0.0 then begin
+            (* x_j <= limit *)
+            let limit = if integral.(j) then floor (limit +. 1e-7) else limit in
+            if limit < upper.(j) -. eps then begin
+              upper.(j) <- limit;
+              changed := true
+            end
+          end
+          else begin
+            (* x_j >= limit *)
+            let limit = if integral.(j) then ceil (limit -. 1e-7) else limit in
+            if limit > lower.(j) +. eps then begin
+              lower.(j) <- limit;
+              changed := true
+            end
+          end;
+          if lower.(j) > upper.(j) +. 1e-7 then raise Infeasible
+        end
+      end)
+    terms;
+  !changed
+
+let bounds ?(max_rounds = 20) lp =
+  let n = Lp.num_vars lp in
+  let lower = Array.init n (fun j -> Lp.var_lower lp (Lp.var_of_index lp j)) in
+  let upper = Array.init n (fun j -> Lp.var_upper lp (Lp.var_of_index lp j)) in
+  let integral =
+    Array.init n (fun j ->
+        Lp.is_integral_kind (Lp.var_kind lp (Lp.var_of_index lp j)))
+  in
+  (* Integral bounds can be rounded inward immediately. *)
+  for j = 0 to n - 1 do
+    if integral.(j) then begin
+      if Float.is_finite lower.(j) then lower.(j) <- ceil (lower.(j) -. 1e-7);
+      if Float.is_finite upper.(j) then upper.(j) <- floor (upper.(j) +. 1e-7)
+    end
+  done;
+  let rows =
+    List.init (Lp.num_constrs lp) (fun i ->
+        let terms =
+          List.map (fun (a, v) -> (a, Lp.var_index v)) (Lp.constr_terms lp i)
+        in
+        (terms, Lp.constr_relation lp i, Lp.constr_rhs lp i))
+  in
+  try
+    for j = 0 to n - 1 do
+      if lower.(j) > upper.(j) +. 1e-7 then raise Infeasible
+    done;
+    let rounds = ref 0 in
+    let changed = ref true in
+    while !changed && !rounds < max_rounds do
+      incr rounds;
+      changed := false;
+      List.iter
+        (fun (terms, rel, b) ->
+          let negated = List.map (fun (a, j) -> (-.a, j)) terms in
+          match rel with
+          | Lp.Le ->
+            if propagate_le lower upper integral terms b then changed := true
+          | Lp.Ge ->
+            if propagate_le lower upper integral negated (-.b) then
+              changed := true
+          | Lp.Eq ->
+            if propagate_le lower upper integral terms b then changed := true;
+            if propagate_le lower upper integral negated (-.b) then
+              changed := true)
+        rows
+    done;
+    let fixed = ref 0 in
+    for j = 0 to n - 1 do
+      if upper.(j) -. lower.(j) < eps then incr fixed
+    done;
+    Tightened { lower; upper; rounds = !rounds; fixed = !fixed }
+  with Infeasible -> Proven_infeasible

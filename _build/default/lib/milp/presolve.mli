@@ -1,0 +1,23 @@
+(** Presolve: iterated bound tightening.
+
+    Classic activity-based domain propagation: for a row
+    [sum a_j x_j <= b], the minimum activity of the other terms implies an
+    upper bound on each variable with [a_j > 0] (and symmetrically).
+    Integer variables round their tightened bounds inward.  Iterating to a
+    fixpoint shrinks the branch-and-bound root box — often fixing most of
+    the binary variables of the paper's path models outright — and can
+    prove infeasibility outright. *)
+
+type result =
+  | Tightened of {
+      lower : float array;  (** by {!Lp.var_index} *)
+      upper : float array;
+      rounds : int;  (** propagation sweeps until fixpoint (or cap) *)
+      fixed : int;  (** variables whose domain collapsed to a point *)
+    }
+  | Proven_infeasible
+
+val bounds : ?max_rounds:int -> Lp.t -> result
+(** [bounds lp] tightens variable bounds (default cap: 20 sweeps).  The
+    returned arrays are always valid replacement bounds: every feasible
+    point of [lp] satisfies them. *)

@@ -1,0 +1,426 @@
+(* Bounded-variable revised simplex.
+ *
+ * Standard computational form: every constraint row r gets a slack variable
+ * s_r with bounds encoding its relation (Le: [0,inf), Ge: (-inf,0], Eq:
+ * [0,0]), turning all rows into equalities  A x + s = b.  Nonbasic variables
+ * rest on one of their finite bounds; the m basic variables are determined by
+ * x_B = B^{-1} (b - A_N x_N).  We maintain B^{-1} densely and update it by
+ * elementary row operations at each pivot.
+ *
+ * Phase 1 minimises the total bound violation of the basic variables using
+ * the composite-objective technique: the phase-1 cost of a basic variable is
+ * -1 below its lower bound, +1 above its upper bound, 0 otherwise, and is
+ * recomputed every iteration.  An infeasible basic variable only blocks the
+ * ratio test at the bound it is approaching from outside, which is exactly
+ * what makes the composite phase 1 converge.
+ *)
+
+type solution = { objective : float; values : float array }
+
+type status = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+let feas_eps = 1e-7
+let cost_eps = 1e-9
+let pivot_eps = 1e-9
+
+type nb_position = At_lower | At_upper
+
+type state = {
+  n : int;  (* structural variables *)
+  m : int;  (* rows = basic count *)
+  total : int;  (* n + m *)
+  lower : float array;  (* bounds for all [total] variables *)
+  upper : float array;
+  cost : float array;  (* phase-2 cost, minimisation sense, length total *)
+  cols : (int * float) array array;  (* sparse column per variable *)
+  rhs : float array;
+  basis : int array;  (* variable basic in each row *)
+  row_of : int array;  (* inverse of [basis]; -1 when nonbasic *)
+  position : nb_position array;  (* meaningful for nonbasic variables *)
+  binv : float array array;  (* m x m basis inverse *)
+  xb : float array;  (* values of basic variables, by row *)
+}
+
+let nonbasic_value st j =
+  match st.position.(j) with
+  | At_lower ->
+    if st.lower.(j) > neg_infinity then st.lower.(j)
+    else if st.upper.(j) < infinity then st.upper.(j)
+    else 0.0
+  | At_upper ->
+    if st.upper.(j) < infinity then st.upper.(j)
+    else if st.lower.(j) > neg_infinity then st.lower.(j)
+    else 0.0
+
+(* Build the computational form from the model.  Slack variable for row r is
+   variable n + r. *)
+let build lp lower_override upper_override =
+  let n = Lp.num_vars lp in
+  let m = Lp.num_constrs lp in
+  let total = n + m in
+  let lower = Array.make total 0.0 and upper = Array.make total 0.0 in
+  for j = 0 to n - 1 do
+    let v = Lp.var_of_index lp j in
+    lower.(j) <-
+      (match lower_override with Some a -> a.(j) | None -> Lp.var_lower lp v);
+    upper.(j) <-
+      (match upper_override with Some a -> a.(j) | None -> Lp.var_upper lp v)
+  done;
+  let rhs = Array.make m 0.0 in
+  let col_build = Array.init total (fun _ -> ref []) in
+  for r = 0 to m - 1 do
+    rhs.(r) <- Lp.constr_rhs lp r;
+    List.iter
+      (fun (c, v) ->
+        let j = Lp.var_index v in
+        col_build.(j) := (r, c) :: !(col_build.(j)))
+      (Lp.constr_terms lp r);
+    let s = n + r in
+    col_build.(s) := [ (r, 1.0) ];
+    (match Lp.constr_relation lp r with
+    | Lp.Le ->
+      lower.(s) <- 0.0;
+      upper.(s) <- infinity
+    | Lp.Ge ->
+      lower.(s) <- neg_infinity;
+      upper.(s) <- 0.0
+    | Lp.Eq ->
+      lower.(s) <- 0.0;
+      upper.(s) <- 0.0)
+  done;
+  let cols = Array.map (fun l -> Array.of_list (List.rev !l)) col_build in
+  let sign = match Lp.sense lp with Lp.Minimize -> 1.0 | Lp.Maximize -> -1.0 in
+  let cost = Array.make total 0.0 in
+  List.iter
+    (fun (c, v) -> cost.(Lp.var_index v) <- cost.(Lp.var_index v) +. (sign *. c))
+    (Lp.objective_terms lp);
+  let basis = Array.init m (fun r -> n + r) in
+  let row_of = Array.make total (-1) in
+  Array.iteri (fun r j -> row_of.(j) <- r) basis;
+  let position = Array.make total At_lower in
+  for j = 0 to total - 1 do
+    if lower.(j) = neg_infinity && upper.(j) < infinity then
+      position.(j) <- At_upper
+  done;
+  let binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1.0 else 0.0)) in
+  let st =
+    { n; m; total; lower; upper; cost; cols; rhs; basis; row_of; position;
+      binv; xb = Array.make m 0.0 }
+  in
+  (* xb = B^{-1}(b - A_N x_N); initially B = I over the slacks. *)
+  for r = 0 to m - 1 do
+    st.xb.(r) <- rhs.(r)
+  done;
+  for j = 0 to n - 1 do
+    let v = nonbasic_value st j in
+    if v <> 0.0 then
+      Array.iter (fun (r, c) -> st.xb.(r) <- st.xb.(r) -. (c *. v)) cols.(j)
+  done;
+  st
+
+(* w = B^{-1} a_j for a sparse column. *)
+let ftran st j =
+  let w = Array.make st.m 0.0 in
+  Array.iter
+    (fun (r, c) ->
+      if c <> 0.0 then
+        for i = 0 to st.m - 1 do
+          w.(i) <- w.(i) +. (st.binv.(i).(r) *. c)
+        done)
+    st.cols.(j);
+  w
+
+(* y = cb^T B^{-1} where cb is indexed by row. *)
+let btran st cb =
+  let y = Array.make st.m 0.0 in
+  for i = 0 to st.m - 1 do
+    let ci = cb.(i) in
+    if ci <> 0.0 then
+      let row = st.binv.(i) in
+      for r = 0 to st.m - 1 do
+        y.(r) <- y.(r) +. (ci *. row.(r))
+      done
+  done;
+  y
+
+(* Reduced cost of nonbasic [j] under an explicit cost vector: phase 1 uses
+   the all-zero structural cost (only the composite basic costs matter),
+   phase 2 the real objective. *)
+let reduced_cost st costs y j =
+  let d = ref costs.(j) in
+  Array.iter (fun (r, c) -> d := !d -. (y.(r) *. c)) st.cols.(j);
+  !d
+
+(* Infeasibility classification of the basic variable in row i. *)
+type feas = Below | Above | Within
+
+let basic_feas st i =
+  let j = st.basis.(i) in
+  let x = st.xb.(i) in
+  if x < st.lower.(j) -. feas_eps then Below
+  else if x > st.upper.(j) +. feas_eps then Above
+  else Within
+
+let total_infeasibility st =
+  let s = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let j = st.basis.(i) in
+    if st.xb.(i) < st.lower.(j) -. feas_eps then
+      s := !s +. (st.lower.(j) -. st.xb.(i))
+    else if st.xb.(i) > st.upper.(j) +. feas_eps then
+      s := !s +. (st.xb.(i) -. st.upper.(j))
+  done;
+  !s
+
+(* Entering-variable scan.  [phase1] changes eligibility only through the
+   cost vector used to produce [y]; the position test is shared.  Returns
+   (j, direction) where direction is +1. to increase the variable. *)
+let choose_entering st costs y ~bland =
+  let best = ref None in
+  let consider j =
+    if st.row_of.(j) < 0 && st.upper.(j) -. st.lower.(j) > feas_eps then begin
+      let d = reduced_cost st costs y j in
+      let dir =
+        match st.position.(j) with
+        | At_lower ->
+          (* A variable resting on -inf..finite-upper is stored At_upper, so
+             At_lower here implies a finite lower bound or a free variable:
+             it may increase; a free variable may also decrease. *)
+          if d < -.cost_eps then Some 1.0
+          else if
+            st.lower.(j) = neg_infinity && st.upper.(j) = infinity
+            && d > cost_eps
+          then Some (-1.0)
+          else None
+        | At_upper -> if d > cost_eps then Some (-1.0) else None
+      in
+      match dir with
+      | None -> ()
+      | Some dir -> (
+        let score = abs_float d in
+        match !best with
+        | Some (_, _, s) when not bland && s >= score -> ()
+        | Some _ when bland -> ()
+        | _ -> best := Some (j, dir, score))
+    end
+  in
+  (* Under Bland's rule the first eligible index wins, so scan in order and
+     stop at the first hit. *)
+  if bland then begin
+    let j = ref 0 in
+    while !best = None && !j < st.total do
+      consider !j;
+      incr j
+    done
+  end
+  else
+    for j = 0 to st.total - 1 do
+      consider j
+    done;
+  match !best with Some (j, dir, _) -> Some (j, dir) | None -> None
+
+(* Ratio test.  Moving entering variable j by t*dir changes basic i by
+   -dir*t*w_i.  In phase 1, a basic variable outside its bounds only blocks
+   at the violated bound it is moving toward; a feasible basic blocks at
+   whichever bound it approaches.  Returns the step, and the blocking row
+   (None for a bound flip of the entering variable itself). *)
+type block = Flip | Row of int * float (* row, bound the leaver stops at *)
+
+let ratio_test st ~phase1 j dir w =
+  let t_best = ref infinity in
+  let who = ref Flip in
+  let own_range = st.upper.(j) -. st.lower.(j) in
+  if own_range < infinity then t_best := own_range;
+  for i = 0 to st.m - 1 do
+    let wi = w.(i) in
+    if abs_float wi > pivot_eps then begin
+      let rate = -.dir *. wi in
+      (* dx_basic/dt *)
+      let jb = st.basis.(i) in
+      let target =
+        if phase1 then
+          match basic_feas st i with
+          | Below -> if rate > 0.0 then Some st.lower.(jb) else None
+          | Above -> if rate < 0.0 then Some st.upper.(jb) else None
+          | Within ->
+            if rate > 0.0 then
+              if st.upper.(jb) < infinity then Some st.upper.(jb) else None
+            else if st.lower.(jb) > neg_infinity then Some st.lower.(jb)
+            else None
+        else if rate > 0.0 then
+          if st.upper.(jb) < infinity then Some st.upper.(jb) else None
+        else if st.lower.(jb) > neg_infinity then Some st.lower.(jb)
+        else None
+      in
+      match target with
+      | None -> ()
+      | Some bound ->
+        let t = (bound -. st.xb.(i)) /. rate in
+        let t = max t 0.0 in
+        if t < !t_best -. 1e-12
+           || (t < !t_best +. 1e-12
+              &&
+              match !who with
+              | Row (i', _) -> abs_float wi > abs_float w.(i')
+              | Flip -> false)
+        then begin
+          t_best := t;
+          who := Row (i, bound)
+        end
+    end
+  done;
+  (!t_best, !who)
+
+(* Apply a pivot: entering j moves by dir*t; leaving row r's variable exits
+   to [bound].  Updates binv, xb, basis bookkeeping. *)
+let pivot st j dir t w = function
+  | Flip ->
+    for i = 0 to st.m - 1 do
+      st.xb.(i) <- st.xb.(i) -. (dir *. t *. w.(i))
+    done;
+    st.position.(j) <-
+      (match st.position.(j) with At_lower -> At_upper | At_upper -> At_lower)
+  | Row (r, bound) ->
+    let leaving = st.basis.(r) in
+    let enter_value = nonbasic_value st j +. (dir *. t) in
+    for i = 0 to st.m - 1 do
+      st.xb.(i) <- st.xb.(i) -. (dir *. t *. w.(i))
+    done;
+    (* Basis inverse update: row r scaled by 1/w_r, eliminated elsewhere. *)
+    let wr = w.(r) in
+    let brow = st.binv.(r) in
+    for k = 0 to st.m - 1 do
+      brow.(k) <- brow.(k) /. wr
+    done;
+    for i = 0 to st.m - 1 do
+      if i <> r && abs_float w.(i) > 0.0 then begin
+        let f = w.(i) in
+        let row = st.binv.(i) in
+        for k = 0 to st.m - 1 do
+          row.(k) <- row.(k) -. (f *. brow.(k))
+        done
+      end
+    done;
+    st.basis.(r) <- j;
+    st.row_of.(j) <- r;
+    st.row_of.(leaving) <- -1;
+    st.position.(leaving) <-
+      (if bound = st.lower.(leaving) then At_lower else At_upper);
+    st.xb.(r) <- enter_value
+
+exception Stop of status
+
+let extract st lp =
+  let values = Array.make st.n 0.0 in
+  for j = 0 to st.n - 1 do
+    let r = st.row_of.(j) in
+    values.(j) <- (if r >= 0 then st.xb.(r) else nonbasic_value st j)
+  done;
+  (* Clamp tiny bound violations left by floating-point noise. *)
+  for j = 0 to st.n - 1 do
+    if values.(j) < st.lower.(j) then values.(j) <- st.lower.(j);
+    if values.(j) > st.upper.(j) then values.(j) <- st.upper.(j)
+  done;
+  { objective = Lp.objective_value lp values; values }
+
+let solve ?max_iters ?lower_override ?upper_override lp =
+  let st = build lp lower_override upper_override in
+  (* A variable with lower > upper (empty branch-and-bound domain) makes the
+     whole problem trivially infeasible. *)
+  let empty = ref false in
+  for j = 0 to st.total - 1 do
+    if st.lower.(j) > st.upper.(j) then empty := true
+  done;
+  if !empty then Infeasible
+  else begin
+    let limit =
+      match max_iters with
+      | Some k -> k
+      | None -> 20_000 + (50 * (st.n + st.m))
+    in
+    let iters = ref 0 in
+    let stalls = ref 0 in
+    let last_metric = ref infinity in
+    let cb1 = Array.make st.m 0.0 in
+    let zero_costs = Array.make st.total 0.0 in
+    try
+      (* ---- Phase 1 ---- *)
+      let rec phase1_loop () =
+        let infeas = total_infeasibility st in
+        if infeas <= feas_eps then ()
+        else begin
+          if !iters >= limit then raise (Stop Iteration_limit);
+          incr iters;
+          if infeas < !last_metric -. 1e-10 then begin
+            last_metric := infeas;
+            stalls := 0
+          end
+          else incr stalls;
+          let bland = !stalls > 200 in
+          for i = 0 to st.m - 1 do
+            cb1.(i) <-
+              (match basic_feas st i with
+              | Below -> -1.0
+              | Above -> 1.0
+              | Within -> 0.0)
+          done;
+          let y = btran st cb1 in
+          match choose_entering st zero_costs y ~bland with
+          | None -> raise (Stop Infeasible)
+          | Some (j, dir) ->
+            let w = ftran st j in
+            let t, blk = ratio_test st ~phase1:true j dir w in
+            if t = infinity then
+              (* The composite objective is bounded below by 0, so an
+                 unblocked ray cannot happen with exact arithmetic; treat it
+                 as numerical failure. *)
+              raise (Stop Iteration_limit)
+            else begin
+              pivot st j dir t w blk;
+              phase1_loop ()
+            end
+        end
+      in
+      phase1_loop ();
+      (* ---- Phase 2 ---- *)
+      last_metric := infinity;
+      stalls := 0;
+      let cb = Array.make st.m 0.0 in
+      let rec phase2_loop () =
+        if !iters >= limit then raise (Stop Iteration_limit);
+        incr iters;
+        for i = 0 to st.m - 1 do
+          cb.(i) <- st.cost.(st.basis.(i))
+        done;
+        let y = btran st cb in
+        let obj = ref 0.0 in
+        for i = 0 to st.m - 1 do
+          obj := !obj +. (cb.(i) *. st.xb.(i))
+        done;
+        if !obj < !last_metric -. 1e-10 then begin
+          last_metric := !obj;
+          stalls := 0
+        end
+        else incr stalls;
+        let bland = !stalls > 200 in
+        match choose_entering st st.cost y ~bland with
+        | None -> ()
+        | Some (j, dir) ->
+          let w = ftran st j in
+          let t, blk = ratio_test st ~phase1:false j dir w in
+          if t = infinity then raise (Stop Unbounded)
+          else begin
+            pivot st j dir t w blk;
+            (* Phase-2 pivots can drift a basic variable slightly out of
+               bounds; large violations mean we must repair via phase 1. *)
+            if total_infeasibility st > 1e-5 then begin
+              phase1_loop ();
+              last_metric := infinity
+            end;
+            phase2_loop ()
+          end
+      in
+      phase2_loop ();
+      Optimal (extract st lp)
+    with Stop status -> status
+  end

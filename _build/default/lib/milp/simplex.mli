@@ -1,0 +1,32 @@
+(** LP solver: bounded-variable primal simplex.
+
+    Solves the continuous relaxation of an {!Lp.t} (integrality of variables
+    is ignored).  The implementation is a dense revised simplex with an
+    explicitly maintained basis inverse and a composite (infeasibility-sum)
+    phase 1, plus Bland's rule as an anti-cycling fallback — adequate for the
+    subblock-sized models the hierarchical method of the paper produces. *)
+
+type solution = {
+  objective : float;  (** objective value in the model's own sense *)
+  values : float array;  (** structural variable values, by {!Lp.var_index} *)
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+      (** The iteration cap was hit before optimality was proven. *)
+
+val solve :
+  ?max_iters:int ->
+  ?lower_override:float array ->
+  ?upper_override:float array ->
+  Lp.t ->
+  status
+(** [solve lp] optimises the LP relaxation of [lp].
+
+    [lower_override]/[upper_override], when given, replace the variable
+    bounds (arrays indexed by {!Lp.var_index}); branch-and-bound uses this to
+    explore subproblems without copying the model.  [max_iters] defaults to
+    [20_000 + 50 * (vars + constraints)]. *)

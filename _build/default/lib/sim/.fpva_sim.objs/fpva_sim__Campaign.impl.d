@@ -1,0 +1,1 @@
+lib/sim/campaign.ml: Fault Format Fpva_util Hashtbl List Simulator

@@ -1,0 +1,1 @@
+lib/sim/campaign.mli: Fault Format Fpva_grid Fpva_testgen

@@ -1,0 +1,1 @@
+lib/sim/compaction.ml: Array Diagnosis Fpva_util List Simulator

@@ -1,0 +1,1 @@
+lib/sim/compaction.mli: Fault Fpva_grid Fpva_testgen

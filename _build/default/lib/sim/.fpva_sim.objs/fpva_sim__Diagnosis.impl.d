@@ -1,0 +1,1 @@
+lib/sim/diagnosis.ml: Array Fault Fpva_grid Fpva_testgen Fpva_util Hashtbl List Simulator

@@ -1,0 +1,1 @@
+lib/sim/diagnosis.mli: Fault Fpva_grid Fpva_testgen

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Array Coord Format Fpva Fpva_grid Fpva_util List

@@ -1,0 +1,1 @@
+lib/sim/fault.mli: Format Fpva Fpva_grid Fpva_util

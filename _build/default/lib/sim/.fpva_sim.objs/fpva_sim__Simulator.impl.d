@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Fault Fpva Fpva_grid Fpva_testgen Graph List

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Fault Fpva Fpva_grid Fpva_testgen

@@ -1,0 +1,50 @@
+(** Random fault-injection campaigns (paper Section IV).
+
+    The paper's closing experiment: "for each valve array … we randomly
+    introduced one, two, three, four and five faults, respectively, and
+    applied the generated test vectors.  We repeated this process 10 000
+    times.  In these test cases, the test vectors captured all the faults."
+
+    A campaign repeats: draw [k] distinct random faults, run the whole
+    vector suite on the faulty chip, record whether any vector's observation
+    differs from golden. *)
+
+
+
+type config = {
+  trials : int;  (** repetitions per fault count (paper: 10 000) *)
+  fault_counts : int list;  (** paper: [1; 2; 3; 4; 5] *)
+  seed : int;
+  classes : [ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list;
+      (** fault classes to draw from; the paper's experiment uses stuck-at
+          faults ([`Stuck_at_0; `Stuck_at_1]) *)
+}
+
+val default_config : config
+(** 10 000 trials, counts 1–5, stuck-at classes, seed 42. *)
+
+type row = {
+  fault_count : int;
+  trials : int;
+  detected : int;
+  escapes : Fault.t list list;  (** the undetected fault sets, if any *)
+  mean_latency : float;
+      (** average 1-based index of the first detecting vector over the
+          detected trials (how far into the session the tester learns the
+          chip is bad) — [nan] when nothing was detected *)
+}
+
+type result = {
+  rows : row list;
+  wall_seconds : float;
+}
+
+val run :
+  ?config:config ->
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  result
+
+val detection_rate : row -> float
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,72 @@
+let detects_matrix fpva ~vectors ~faults =
+  let vecs = Array.of_list vectors in
+  Array.map
+    (fun v ->
+      Array.of_list
+        (List.map (fun f -> Simulator.detects fpva ~faults:[ f ] v) faults))
+    vecs
+
+let compact ?faults fpva vectors =
+  let faults =
+    match faults with
+    | Some fs -> fs
+    | None -> Diagnosis.single_faults fpva
+  in
+  let matrix = detects_matrix fpva ~vectors ~faults in
+  let nv = Array.length matrix in
+  let nf = List.length faults in
+  let detectable = Array.make nf false in
+  Array.iter
+    (fun row -> Array.iteri (fun j d -> if d then detectable.(j) <- true) row)
+    matrix;
+  let missed =
+    List.filteri (fun j _ -> not detectable.(j)) faults
+  in
+  (* Greedy set cover over the detectable faults. *)
+  let need = Array.copy detectable in
+  let kept = Array.make nv false in
+  let remaining () = Array.exists (fun b -> b) need in
+  while remaining () do
+    let best = ref (-1) and best_gain = ref 0 in
+    for i = 0 to nv - 1 do
+      if not kept.(i) then begin
+        let gain = ref 0 in
+        Array.iteri (fun j d -> if d && need.(j) then incr gain) matrix.(i);
+        if !gain > !best_gain then begin
+          best := i;
+          best_gain := !gain
+        end
+      end
+    done;
+    assert (!best >= 0);
+    kept.(!best) <- true;
+    Array.iteri (fun j d -> if d then need.(j) <- false) matrix.(!best)
+  done;
+  (* Irredundancy pass: drop kept vectors whose faults are covered by the
+     other kept vectors (greedy cover can over-select early picks). *)
+  let covered_without i =
+    let cov = Array.make nf false in
+    Array.iteri
+      (fun k row ->
+        if kept.(k) && k <> i then
+          Array.iteri (fun j d -> if d then cov.(j) <- true) row)
+      matrix;
+    cov
+  in
+  for i = 0 to nv - 1 do
+    if kept.(i) then begin
+      let cov = covered_without i in
+      let needed = ref false in
+      Array.iteri
+        (fun j d -> if d && detectable.(j) && not cov.(j) then needed := true)
+        matrix.(i);
+      if not !needed then kept.(i) <- false
+    end
+  done;
+  let compacted =
+    List.filteri (fun i _ -> kept.(i)) vectors
+  in
+  (compacted, missed)
+
+let compaction_ratio original compacted =
+  Fpva_util.Stats.ratio (List.length compacted) (List.length original)

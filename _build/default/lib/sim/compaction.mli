@@ -1,0 +1,36 @@
+(** Static test-set compaction.
+
+    The generation pipeline emits one vector per covering structure; several
+    vectors often detect overlapping fault sets, so a smaller subset can
+    retain full single-fault coverage.  This is the classical static
+    compaction step of IC test flows, driven here by the fault simulator:
+    build the vector-by-fault detection matrix, then greedily keep the
+    vector that detects the most still-uncovered faults (set cover).
+
+    Compaction preserves {e detection} of the targeted fault list exactly;
+    it can reduce diagnostic resolution and multi-fault robustness, which is
+    why the pipeline does not apply it by default — it is a knob for
+    test-time-constrained deployments. *)
+
+val detects_matrix :
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  faults:Fault.t list ->
+  bool array array
+(** [detects_matrix t ~vectors ~faults] — row per vector, column per fault:
+    does the vector expose the (single) fault? *)
+
+val compact :
+  ?faults:Fault.t list ->
+  Fpva_grid.Fpva.t ->
+  Fpva_testgen.Test_vector.t list ->
+  Fpva_testgen.Test_vector.t list * Fault.t list
+(** [compact t vectors] returns a sub-list of [vectors] (in original order)
+    that detects every fault of [faults] (default: all single stuck-at
+    faults) detected by the full list, together with the faults that even
+    the full list misses.  The result is irredundant: dropping any kept
+    vector would lose some fault. *)
+
+val compaction_ratio :
+  Fpva_testgen.Test_vector.t list -> Fpva_testgen.Test_vector.t list -> float
+(** [compaction_ratio original compacted] — size ratio in [0, 1]. *)

@@ -1,0 +1,75 @@
+module Tv = Fpva_testgen.Test_vector
+
+type syndrome = bool array
+
+type dictionary = {
+  vectors : Tv.t array;
+  entries : (Fault.t * syndrome) array;
+}
+
+let single_faults fpva =
+  let nv = Fpva_grid.Fpva.num_valves fpva in
+  List.concat_map
+    (fun v -> [ Fault.Stuck_at_0 v; Fault.Stuck_at_1 v ])
+    (List.init nv (fun v -> v))
+
+let syndrome_of fpva ~vectors ~faults =
+  Array.of_list
+    (List.map (fun v -> Simulator.detects fpva ~faults v) vectors)
+
+let build fpva ~vectors ~faults =
+  let vecs = Array.of_list vectors in
+  let entries =
+    Array.of_list
+      (List.map
+         (fun f -> (f, syndrome_of fpva ~vectors ~faults:[ f ]))
+         faults)
+  in
+  { vectors = vecs; entries }
+
+let all_pass s = Array.for_all not s
+
+let diagnose dict observed =
+  if all_pass observed then []
+  else
+    Array.to_list dict.entries
+    |> List.filter_map (fun (f, s) -> if s = observed then Some f else None)
+
+let subset a b =
+  (* a ⊆ b, pointwise on failure bits *)
+  let ok = ref true in
+  Array.iteri (fun i x -> if x && not b.(i) then ok := false) a;
+  !ok
+
+let diagnose_subsuming dict observed =
+  if all_pass observed then []
+  else
+    Array.to_list dict.entries
+    |> List.filter_map (fun (f, s) ->
+           if (not (all_pass s)) && subset s observed then Some f else None)
+
+let equivalence_classes dict =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun (f, s) ->
+      let key = Array.to_list s in
+      (match Hashtbl.find_opt table key with
+      | Some fs -> Hashtbl.replace table key (f :: fs)
+      | None ->
+        Hashtbl.add table key [ f ];
+        order := key :: !order))
+    dict.entries;
+  List.rev_map (fun key -> List.rev (Hashtbl.find table key)) !order
+
+let resolution dict =
+  let classes = List.length (equivalence_classes dict) in
+  let faults = Array.length dict.entries in
+  Fpva_util.Stats.ratio classes faults
+
+let distinguishing_vector fpva vectors f1 f2 =
+  List.find_opt
+    (fun v ->
+      Simulator.detects fpva ~faults:[ f1 ] v
+      <> Simulator.detects fpva ~faults:[ f2 ] v)
+    vectors

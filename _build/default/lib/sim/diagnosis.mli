@@ -1,0 +1,63 @@
+(** Fault diagnosis from test responses.
+
+    The paper's test flow only {e detects} faults; for repair, yield
+    learning, and adaptive re-test it is natural to ask {e which} valve is
+    broken.  This module implements dictionary-based diagnosis, the
+    classical technique from IC testing adapted to the FPVA fault model:
+
+    each candidate fault has a {e syndrome} — the per-vector pass/fail
+    pattern it produces under the suite.  Comparing the observed syndrome
+    against the dictionary yields the candidate faults consistent with the
+    observation.  Two faults with equal syndromes are {e indistinguishable}
+    by the suite; {!resolution} quantifies how finely a suite separates the
+    single-fault universe (a quality metric for test sets beyond plain
+    detection). *)
+
+type syndrome = bool array
+(** Per-vector: [true] iff the observation differs from golden. *)
+
+type dictionary
+
+val single_faults : Fpva_grid.Fpva.t -> Fault.t list
+(** The single stuck-at fault universe: SA0 and SA1 for every valve. *)
+
+val build :
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  faults:Fault.t list ->
+  dictionary
+(** Simulate every candidate fault against every vector. *)
+
+val syndrome_of :
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  faults:Fault.t list ->
+  syndrome
+(** The syndrome an actual fault list produces (what the tester observes). *)
+
+val diagnose : dictionary -> syndrome -> Fault.t list
+(** Candidate faults whose dictionary syndrome equals the observation.
+    An all-pass syndrome returns [] (nothing to explain); an observed
+    syndrome matching no candidate also returns [] (multi-fault or
+    out-of-model behaviour). *)
+
+val diagnose_subsuming : dictionary -> syndrome -> Fault.t list
+(** Weaker matching for multi-fault observations: candidates whose syndrome
+    is a non-empty subset of the observed failures (each such fault alone
+    explains part of the observation). *)
+
+val equivalence_classes : dictionary -> Fault.t list list
+(** Faults grouped by identical syndrome (the suite cannot tell members of
+    a class apart).  Undetected faults form the all-pass class. *)
+
+val resolution : dictionary -> float
+(** Number of distinguishable classes divided by number of faults: 1.0
+    means full diagnosability down to the single fault. *)
+
+val distinguishing_vector :
+  Fpva_grid.Fpva.t ->
+  Fpva_testgen.Test_vector.t list ->
+  Fault.t ->
+  Fault.t ->
+  Fpva_testgen.Test_vector.t option
+(** A vector from the list telling the two faults apart, if any. *)

@@ -1,0 +1,84 @@
+open Fpva_grid
+module Rng = Fpva_util.Rng
+
+type t =
+  | Stuck_at_0 of int
+  | Stuck_at_1 of int
+  | Control_leak of int * int
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Stuck_at_0 v -> Format.fprintf ppf "SA0(valve %d)" v
+  | Stuck_at_1 v -> Format.fprintf ppf "SA1(valve %d)" v
+  | Control_leak (a, b) -> Format.fprintf ppf "LEAK(%d->%d)" a b
+
+let to_string f = Format.asprintf "%a" pp f
+
+let valves_involved = function
+  | Stuck_at_0 v | Stuck_at_1 v -> [ v ]
+  | Control_leak (a, b) -> [ a; b ]
+
+let is_valid fpva f =
+  let nv = Fpva.num_valves fpva in
+  let ok v = v >= 0 && v < nv in
+  match f with
+  | Stuck_at_0 v | Stuck_at_1 v -> ok v
+  | Control_leak (a, b) -> ok a && ok b && a <> b
+
+let random rng fpva =
+  let nv = Fpva.num_valves fpva in
+  if nv = 0 then invalid_arg "Fault.random: no valves";
+  let v = Rng.int rng nv in
+  if Rng.bool rng then Stuck_at_0 v else Stuck_at_1 v
+
+(* Adjacent valve pairs: valves sharing a fluid cell. *)
+let adjacent_pairs fpva =
+  let out = ref [] in
+  for r = 0 to Fpva.rows fpva - 1 do
+    for c = 0 to Fpva.cols fpva - 1 do
+      let cell = Coord.cell r c in
+      if Fpva.cell_state fpva cell = Fpva.Fluid then begin
+        let incident =
+          List.filter_map
+            (fun d ->
+              let e = Coord.edge_towards cell d in
+              if Fpva.edge_in_bounds fpva e then Fpva.valve_id_opt fpva e
+              else None)
+            Coord.all_dirs
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b -> if a <> b then out := (a, b) :: !out)
+              incident)
+          incident
+      end
+    done
+  done;
+  Array.of_list !out
+
+let random_of_classes rng fpva ~classes =
+  match classes with
+  | [] -> invalid_arg "Fault.random_of_classes: empty class list"
+  | _ :: _ -> (
+    let cls = List.nth classes (Rng.int rng (List.length classes)) in
+    let nv = Fpva.num_valves fpva in
+    match cls with
+    | `Stuck_at_0 -> Stuck_at_0 (Rng.int rng nv)
+    | `Stuck_at_1 -> Stuck_at_1 (Rng.int rng nv)
+    | `Control_leak ->
+      let pairs = adjacent_pairs fpva in
+      if Array.length pairs = 0 then Stuck_at_0 (Rng.int rng nv)
+      else begin
+        let a, b = Rng.pick rng pairs in
+        Control_leak (a, b)
+      end)
+
+let random_multi rng fpva ~count =
+  let nv = Fpva.num_valves fpva in
+  if count > nv then invalid_arg "Fault.random_multi: more faults than valves";
+  let ids = Rng.sample_without_replacement rng count nv in
+  List.map
+    (fun v -> if Rng.bool rng then Stuck_at_0 v else Stuck_at_1 v)
+    ids

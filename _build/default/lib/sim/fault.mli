@@ -1,0 +1,46 @@
+(** Fault model for FPVAs (paper Section II).
+
+    Component-level faults over the valve array:
+
+    - [Stuck_at_0 v] — valve [v] can never be opened (broken flow channel,
+      or a broken control channel on a normally-closed actuation scheme);
+    - [Stuck_at_1 v] — valve [v] can never be closed (leaking flow channel);
+    - [Control_leak (a, b)] — pressure leaks between the control channels of
+      [a] and [b]: whenever [a] is actuated (closed), [b] closes too.
+
+    Valves are identified by their dense id ([Fpva.valve_id]). *)
+
+open Fpva_grid
+
+type t =
+  | Stuck_at_0 of int
+  | Stuck_at_1 of int
+  | Control_leak of int * int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val valves_involved : t -> int list
+
+val is_valid : Fpva.t -> t -> bool
+(** Ids in range; [Control_leak] pair distinct. *)
+
+val random : Fpva_util.Rng.t -> Fpva.t -> t
+(** A uniformly random fault: polarity fair coin over stuck-at faults; use
+    {!random_of_classes} to include control leaks. *)
+
+val random_of_classes :
+  Fpva_util.Rng.t ->
+  Fpva.t ->
+  classes:[ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list ->
+  t
+(** Random fault drawn from the given classes (class first, then instance).
+    [Control_leak] instances are drawn over adjacent valve pairs.
+    @raise Invalid_argument if [classes] is empty. *)
+
+val random_multi : Fpva_util.Rng.t -> Fpva.t -> count:int -> t list
+(** [count] distinct random stuck-at faults at distinct valves — matching
+    the paper's multiple-fault injection experiment. *)

@@ -1,0 +1,126 @@
+open Fpva_grid
+module Tv = Fpva_testgen.Test_vector
+
+let effective_states fpva ~faults ~open_valves =
+  let nv = Fpva.num_valves fpva in
+  if Array.length open_valves <> nv then
+    invalid_arg "Simulator.effective_states";
+  let states = Array.copy open_valves in
+  (* Control leaks first: an actuated (commanded-closed) aggressor drags its
+     victim closed.  Leak chains propagate (a->b, b->c): iterate to a fixed
+     point; the commanded state of the aggressor is what actuates the leak,
+     but a victim closed by a leak also pressurises its own control channel,
+     so closure propagates transitively. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        match f with
+        | Fault.Control_leak (a, b) ->
+          if (not states.(a)) && states.(b) then begin
+            states.(b) <- false;
+            changed := true
+          end
+        | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ -> ())
+      faults
+  done;
+  List.iter
+    (fun f ->
+      match f with
+      | Fault.Stuck_at_1 v -> states.(v) <- true
+      | Fault.Stuck_at_0 _ | Fault.Control_leak _ -> ())
+    faults;
+  List.iter
+    (fun f ->
+      match f with
+      | Fault.Stuck_at_0 v -> states.(v) <- false
+      | Fault.Stuck_at_1 _ | Fault.Control_leak _ -> ())
+    faults;
+  states
+
+let response fpva ~faults ~open_valves =
+  let states = effective_states fpva ~faults ~open_valves in
+  let open_edge e =
+    match Fpva.valve_id_opt fpva e with
+    | Some vid -> states.(vid)
+    | None -> true
+  in
+  Graph.pressurized_sinks fpva ~open_edge
+
+let apply_vector fpva ~faults (v : Tv.t) =
+  response fpva ~faults ~open_valves:v.Tv.open_valves
+
+let detects fpva ~faults (v : Tv.t) =
+  apply_vector fpva ~faults v <> v.Tv.golden
+
+let detected_by_suite fpva ~faults suite =
+  List.exists (fun v -> detects fpva ~faults v) suite
+
+let first_detecting fpva ~faults suite =
+  List.find_opt (fun v -> detects fpva ~faults v) suite
+
+(* Tailored probes: for each fault, synthesise the vector family that would
+   expose it on a fault-free-except-this chip, then check whether any member
+   actually distinguishes the full fault list. *)
+let probes_for fpva fault =
+  let module Fp = Fpva_testgen.Flow_path in
+  let module Cs = Fpva_testgen.Cut_set in
+  let module Ps = Fpva_testgen.Path_search in
+  let flow_probe ?(forbidden = []) target =
+    let prob, mapping = Fp.problem ~forbidden_valves:forbidden fpva in
+    let weight = Array.make prob.Fpva_testgen.Problem.num_edges 0.0 in
+    (match Fp.edge_id_of_mapping mapping (Fpva.edge_of_valve fpva target) with
+    | Some e -> weight.(e) <- 1000.0
+    | None -> ());
+    match Ps.find prob ~weight with
+    | None -> []
+    | Some p ->
+      let path = Fp.of_problem_path fpva mapping p in
+      if List.mem target path.Fp.valve_ids then
+        [ Tv.of_flow_path ~label:"probe-flow" fpva path ]
+      else []
+  in
+  let cut_probes target =
+    let specs = Cs.problems fpva in
+    List.concat_map
+      (fun (prob, mapping) ->
+        let weight = Array.make prob.Fpva_testgen.Problem.num_edges 0.0 in
+        let te = Fpva.edge_of_valve fpva target in
+        Array.iteri
+          (fun de _ ->
+            match Cs.crossed_edge_of_mapping mapping de with
+            | Some ce when ce = te -> weight.(de) <- 1000.0
+            | Some _ | None -> ())
+          prob.Fpva_testgen.Problem.edge_ends;
+        match Ps.find prob ~weight with
+        | None -> []
+        | Some p ->
+          let cut = Cs.of_problem_path fpva mapping p in
+          if List.mem target cut.Cs.valve_ids && Cs.is_valid fpva cut then
+            [ Tv.of_cut_set ~label:"probe-cut" fpva cut ]
+          else [])
+      specs
+  in
+  let pierced_probe target =
+    let prob, mapping = Fp.problem fpva in
+    let weight = Array.make prob.Fpva_testgen.Problem.num_edges 0.0 in
+    (match Fp.edge_id_of_mapping mapping (Fpva.edge_of_valve fpva target) with
+    | Some e -> weight.(e) <- 1000.0
+    | None -> ());
+    match Ps.find prob ~weight with
+    | None -> []
+    | Some p ->
+      let path = Fp.of_problem_path fpva mapping p in
+      if List.mem target path.Fp.valve_ids then
+        [ Tv.of_pierced_path ~label:"probe-pierced" fpva path target ]
+      else []
+  in
+  match fault with
+  | Fault.Stuck_at_0 v -> flow_probe v
+  | Fault.Stuck_at_1 v -> cut_probes v @ pierced_probe v
+  | Fault.Control_leak (a, b) -> flow_probe ~forbidden:[ a ] b
+
+let detectable fpva ~faults =
+  let probes = List.concat_map (probes_for fpva) faults in
+  List.exists (fun p -> detects fpva ~faults p) probes

@@ -1,0 +1,52 @@
+(** Pressure-propagation simulator.
+
+    Models test application on a (possibly faulty) chip: sources drive air
+    pressure, a test vector holds valves open or closed, and pressure
+    spreads through every passable connection.  A pressure meter reads
+    [true] iff its port is connected to some source — the steady-state
+    behaviour the paper's test method observes.
+
+    Faults perturb the effective valve states: a stuck-at-0 valve is always
+    closed, a stuck-at-1 valve always open, and a control leak closes the
+    victim whenever the vector actuates the aggressor. *)
+
+open Fpva_grid
+
+val effective_states :
+  Fpva.t -> faults:Fault.t list -> open_valves:bool array -> bool array
+(** The valve states that physically result from commanding [open_valves]
+    on a chip afflicted by [faults].  Fault precedence: control leaks apply
+    first (victim forced closed when aggressor commanded closed), then
+    stuck-at-1 forces open, then stuck-at-0 forces closed; a valve that is
+    both SA0 and SA1 reads as SA0 (it cannot be opened). *)
+
+val response :
+  Fpva.t -> faults:Fault.t list -> open_valves:bool array -> bool array
+(** Port pressures (indexed like [Fpva.ports]) under the effective states. *)
+
+val apply_vector :
+  Fpva.t -> faults:Fault.t list -> Fpva_testgen.Test_vector.t -> bool array
+(** Observed response of one test vector on the faulty chip. *)
+
+val detects :
+  Fpva.t -> faults:Fault.t list -> Fpva_testgen.Test_vector.t -> bool
+(** Does the observed response differ from the vector's golden response? *)
+
+val detected_by_suite :
+  Fpva.t -> faults:Fault.t list -> Fpva_testgen.Test_vector.t list -> bool
+(** Is the fault list exposed by at least one vector of the suite? *)
+
+val first_detecting :
+  Fpva.t ->
+  faults:Fault.t list ->
+  Fpva_testgen.Test_vector.t list ->
+  Fpva_testgen.Test_vector.t option
+
+val detectable :
+  Fpva.t -> faults:Fault.t list -> bool
+(** Is the fault list detectable by {e any} valve-state assignment at all?
+    Decided exactly for single faults (and conservatively for multiple
+    faults) by comparing golden and faulty responses over the vectors of a
+    canonical probing set: each single valve opened on a shortest live path
+    and closed in a separating assignment.  Used to classify escapes as
+    "undetectable by pressure testing" vs "missed by the suite". *)

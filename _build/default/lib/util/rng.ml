@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea & Flood): passes BigCrush, trivially seedable. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling on the top 62 bits avoids modulo bias. *)
+  let mask = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  if bound land (bound - 1) = 0 then mask land (bound - 1)
+  else begin
+    let rec draw v =
+      let r = v mod bound in
+      if v - r + (bound - 1) >= 0 then r
+      else draw (Int64.to_int (Int64.shift_right_logical (next t) 2))
+    in
+    draw mask
+  end
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (u /. 9007199254740992.0)
+
+let split t = { state = next t }
+
+let pick t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Rng.pick";
+  a.(int t n)
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected draws, no O(n) allocation. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let x = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen x ();
+    out := x :: !out
+  done;
+  !out

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The fault-injection campaigns of the paper repeat 10 000 random trials;
+    using our own generator (instead of [Stdlib.Random]) guarantees the
+    experiments are reproducible bit-for-bit across OCaml releases. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator; equal seeds yield equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val split : t -> t
+(** [split t] derives an independent generator (advances [t]). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of [a].
+    @raise Invalid_argument if [a] is empty. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [0, n), in arbitrary order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

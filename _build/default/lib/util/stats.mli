@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by campaigns and benches. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100]; linear interpolation between ranks.
+    The input need not be sorted.
+    @raise Invalid_argument on an empty array or [p] outside [0,100]. *)
+
+val mean : float array -> float
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num /. den] as floats; 0 if [den = 0]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

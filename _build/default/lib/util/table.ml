@@ -1,0 +1,50 @@
+type align = Left | Right
+
+type line = Row of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  lines : line Vec.t;
+}
+
+let create headers = { headers; lines = Vec.create () }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  Vec.push t.lines (Row cells)
+
+let add_separator t = Vec.push t.lines Separator
+
+let pad align width s =
+  let fill = String.make (max 0 (width - String.length s)) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  Vec.iter (function Row cells -> measure cells | Separator -> ()) t.lines;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    let aligns = List.map snd t.headers in
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) cell))
+      (List.combine cells aligns);
+    Buffer.add_char buf '\n'
+  in
+  let total = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
+  let rule () = Buffer.add_string buf (String.make total '-' ^ "\n") in
+  emit_row (List.map fst t.headers);
+  rule ();
+  Vec.iter (function Row cells -> emit_row cells | Separator -> rule ()) t.lines;
+  (* Drop the trailing newline so callers control spacing. *)
+  let s = Buffer.contents buf in
+  String.sub s 0 (String.length s - 1)
+
+let print t = print_endline (render t)

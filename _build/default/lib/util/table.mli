@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment reports.
+
+    Columns are sized to their widest cell; numbers are typically
+    right-aligned and labels left-aligned, mirroring the layout of the
+    paper's Table I. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule before the next row. *)
+
+val render : t -> string
+(** Render with a header rule, column padding and two-space gutters. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)

@@ -1,0 +1,7 @@
+(** Wall-clock timing for the runtime columns of Table I. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val now : unit -> float
+(** Monotonic-ish wall-clock seconds (Unix epoch based). *)

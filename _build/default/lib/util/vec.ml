@@ -1,0 +1,84 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let make n x =
+  if n < 0 then invalid_arg "Vec.make";
+  { data = Array.make (max n 1) x; len = n }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+(* Doubling growth keeps push amortised O(1).  A dummy slot is needed when the
+   vector is empty because we have no element to seed [Array.make] with. *)
+let grow v x =
+  let cap = Array.length v.data in
+  if cap = 0 then v.data <- Array.make 8 x
+  else begin
+    let data = Array.make (2 * cap) v.data.(0) in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if v.len >= Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i name = if i < 0 || i >= v.len then invalid_arg name
+
+let get v i =
+  check v i "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  check v i "Vec.set";
+  v.data.(i) <- x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last";
+  v.data.(v.len - 1)
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+let map f v = { data = Array.map f (to_array v); len = v.len }
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list v = Array.to_list (to_array v)
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let copy v = { data = Array.copy v.data; len = v.len }

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Coord Fpva Fpva_grid Fpva_util Printf QCheck2 QCheck_alcotest Render

@@ -1,0 +1,1 @@
+test/suite_app.ml: Alcotest Array Coord Device Fpva Fpva_app Fpva_grid Fpva_testgen Graph Hashtbl Helpers List Transport

@@ -1,0 +1,1 @@
+test/suite_cut.ml: Alcotest Array Coord Cut_set Dual Fpva Fpva_grid Fpva_testgen Helpers Layouts List Problem

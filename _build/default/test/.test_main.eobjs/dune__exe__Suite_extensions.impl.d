@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Array Diagnosis Fault Format Fpva Fpva_grid Fpva_milp Fpva_sim Fpva_testgen Helpers Layouts Lazy List Pipeline Printf Sequencer Simulator Test_vector

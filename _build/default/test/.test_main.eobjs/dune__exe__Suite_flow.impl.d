@@ -1,0 +1,1 @@
+test/suite_flow.ml: Alcotest Array Coord Flow_path Fpva Fpva_grid Fpva_testgen Helpers Layouts List Path_search Problem

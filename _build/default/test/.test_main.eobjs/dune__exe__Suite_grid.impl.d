@@ -1,0 +1,1 @@
+test/suite_grid.ml: Alcotest Array Control Coord Dual Fpva Fpva_grid Fpva_testgen Graph Helpers Layouts List QCheck2 Render String

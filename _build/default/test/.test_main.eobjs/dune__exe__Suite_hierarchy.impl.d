@@ -1,0 +1,1 @@
+test/suite_hierarchy.ml: Alcotest Array Coord Flow_path Fpva Fpva_grid Fpva_testgen Helpers Hierarchy Layouts List Printf Suite_flow

@@ -1,0 +1,1 @@
+test/suite_leakage.ml: Alcotest Array Coord Flow_path Fpva Fpva_grid Fpva_testgen Helpers Layouts Leakage List

@@ -1,0 +1,1 @@
+test/suite_milp.ml: Alcotest Array Fpva_milp Fpva_testgen Fpva_util Helpers List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/suite_parse.ml: Alcotest Array Coord Fpva Fpva_grid Helpers Layouts List Parse Render String

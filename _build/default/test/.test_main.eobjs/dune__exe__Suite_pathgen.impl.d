@@ -1,0 +1,1 @@
+test/suite_pathgen.ml: Alcotest Array Cover Flow_path Fpva_testgen Helpers List Path_ilp Path_search Problem

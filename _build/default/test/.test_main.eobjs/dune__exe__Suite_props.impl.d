@@ -1,0 +1,1 @@
+test/suite_props.ml: Array Compaction Cut_set Diagnosis Fault Flow_path Fpva Fpva_grid Fpva_sim Fpva_testgen Fpva_util Helpers List Pipeline Sequencer Simulator Suite_io Test_vector

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Campaign Coord Fault Fpva Fpva_grid Fpva_sim Fpva_testgen Fpva_util Helpers Layouts List Pipeline Printf QCheck2 Simulator

@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Fpva_util Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/suite_vectors.ml: Alcotest Array Baseline Char Cut_set Flow_path Fpva Fpva_grid Fpva_sim Fpva_testgen Fpva_util Helpers Layouts List Pipeline Printf Report String Test_vector

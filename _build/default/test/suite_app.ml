@@ -1,0 +1,215 @@
+(* Tests for the application layer: dynamic devices and transport. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_app
+
+let chip () = small_full_layout 8 8
+
+let tall = { Device.origin = Coord.cell 2 2; height = 4; width = 2 }
+let wide = { Device.origin = Coord.cell 2 2; height = 2; width = 4 }
+
+let device_tests =
+  [
+    case "ring_cells walks the rectangle boundary once" (fun () ->
+        let ring = Device.ring_cells tall in
+        checki "cell count" (2 * (4 + 2) - 4) (List.length ring);
+        checki "distinct" (List.length ring)
+          (List.length (List.sort_uniq Coord.compare_cell ring));
+        (* consecutive ring cells are adjacent, and the ring closes *)
+        let arr = Array.of_list ring in
+        Array.iteri
+          (fun i a ->
+            let b = arr.((i + 1) mod Array.length arr) in
+            checki "adjacent" 1
+              (abs (a.Coord.row - b.Coord.row) + abs (a.Coord.col - b.Coord.col)))
+          arr);
+    case "ring_cells rejects degenerate sizes" (fun () ->
+        checkb "raises" true
+          (try
+             ignore
+               (Device.ring_cells
+                  { Device.origin = Coord.cell 0 0; height = 1; width = 3 });
+             false
+           with Invalid_argument _ -> true));
+    case "pump_valves counts the ring edges" (fun () ->
+        let t = chip () in
+        (match Device.pump_valves t tall with
+        | Ok vs -> checki "4x2 pumps" 8 (List.length vs)
+        | Error msg -> Alcotest.fail msg);
+        match Device.pump_valves t wide with
+        | Ok vs -> checki "2x4 pumps" 8 (List.length vs)
+        | Error msg -> Alcotest.fail msg);
+    case "pump_valves fails off chip" (fun () ->
+        let t = chip () in
+        checkb "error" true
+          (match
+             Device.pump_valves t
+               { Device.origin = Coord.cell 6 6; height = 4; width = 4 }
+           with
+          | Error _ -> true
+          | Ok _ -> false));
+    case "pump_valves fails on obstacles" (fun () ->
+        let t = chip () in
+        Fpva.set_obstacle t (Coord.cell 2 2);
+        checkb "error" true
+          (match Device.pump_valves t tall with Error _ -> true | Ok _ -> false));
+    case "pump_valves fails when a ring edge is a channel" (fun () ->
+        let t = chip () in
+        Fpva.set_edge t (Coord.E (Coord.cell 2 2)) Fpva.Open_channel;
+        checkb "error" true
+          (match Device.pump_valves t tall with Error _ -> true | Ok _ -> false));
+    case "guard valves seal the device" (fun () ->
+        let t = chip () in
+        let guards = Device.guard_valves t tall in
+        let pumps =
+          match Device.pump_valves t tall with Ok v -> v | Error m -> failwith m
+        in
+        checkb "nonempty" true (guards <> []);
+        (* guards and pumps are disjoint valve sets *)
+        checkb "disjoint" true
+          (List.for_all (fun g -> not (List.mem g pumps)) guards);
+        (* closing pumps+guards isolates the ring: no source can reach it *)
+        let closed = Hashtbl.create 32 in
+        List.iter
+          (fun v -> Hashtbl.replace closed (Fpva.edge_of_valve t v) ())
+          (guards @ pumps);
+        let ring0 = List.hd (Device.ring_cells tall) in
+        checkb "isolated" false
+          (Graph.reachable t
+             ~open_edge:(fun e -> not (Hashtbl.mem closed e))
+             ~from:[ Graph.Port 0 ] (Graph.Cell ring0)));
+    case "open_boundary flags unsealable placements" (fun () ->
+        let t = chip () in
+        checkb "sealed by default" true (Device.open_boundary t tall = []);
+        Fpva.set_edge t (Coord.E (Coord.cell 2 1)) Fpva.Open_channel;
+        checkb "leak detected" true (Device.open_boundary t tall <> []));
+    case "overlaps detects shared area" (fun () ->
+        checkb "tall/wide share" true (Device.overlaps tall wide);
+        let far = { Device.origin = Coord.cell 6 6; height = 2; width = 2 } in
+        checkb "disjoint" false (Device.overlaps tall far));
+    case "pump_schedule has three circulating phases" (fun () ->
+        let t = chip () in
+        match Device.pump_schedule t tall with
+        | Ok phases ->
+          checki "three phases" 3 (List.length phases);
+          let pumps =
+            match Device.pump_valves t tall with
+            | Ok v -> v
+            | Error m -> failwith m
+          in
+          List.iter
+            (fun states ->
+              let closed =
+                List.filter (fun v -> not states.(v)) pumps
+              in
+              (* 8 pump valves, every third closed *)
+              checkb "some closed" true (closed <> []);
+              checkb "most open" true
+                (List.length closed < List.length pumps);
+              (* guards closed in every phase *)
+              List.iter
+                (fun g -> checkb "guard closed" false states.(g))
+                (Device.guard_valves t tall))
+            phases;
+          (* the three phases close different plugs *)
+          checkb "phases differ" true
+            (List.length (List.sort_uniq compare phases) = 3)
+        | Error msg -> Alcotest.fail msg);
+    case "certified succeeds on a full suite and fails on an empty one"
+      (fun () ->
+        let t = chip () in
+        let suite = Fpva_testgen.Pipeline.run t in
+        (match Device.certified t suite.Fpva_testgen.Pipeline.vectors tall with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "full suite should certify: %s" msg);
+        checkb "empty suite refuses" true
+          (match Device.certified t [] tall with
+          | Error _ -> true
+          | Ok () -> false));
+  ]
+
+let transport_tests =
+  [
+    case "plans a shortest route" (fun () ->
+        let t = chip () in
+        match Transport.plan t ~src:(Coord.cell 0 0) ~dst:(Coord.cell 0 5) with
+        | Some r ->
+          checki "cells" 6 (List.length r.Transport.cells);
+          checki "valves" 5 (List.length r.Transport.valves)
+        | None -> Alcotest.fail "no route");
+    case "route endpoints are src and dst" (fun () ->
+        let t = chip () in
+        match Transport.plan t ~src:(Coord.cell 7 0) ~dst:(Coord.cell 0 7) with
+        | Some r ->
+          (match (r.Transport.cells, List.rev r.Transport.cells) with
+          | first :: _, last :: _ ->
+            checkb "src" true (first = Coord.cell 7 0);
+            checkb "dst" true (last = Coord.cell 0 7)
+          | _, _ -> Alcotest.fail "empty route")
+        | None -> Alcotest.fail "no route");
+    case "avoid cells are honoured" (fun () ->
+        let t = small_full_layout 3 3 in
+        (* block the middle column except one crossing *)
+        let avoid = [ Coord.cell 0 1; Coord.cell 1 1 ] in
+        match Transport.plan t ~src:(Coord.cell 0 0) ~dst:(Coord.cell 0 2) ~avoid with
+        | Some r ->
+          checkb "detours" true
+            (List.for_all (fun c -> not (List.mem c avoid)) r.Transport.cells)
+        | None -> Alcotest.fail "no route");
+    case "returns None when walled off" (fun () ->
+        let t = small_full_layout 3 3 in
+        let avoid = [ Coord.cell 0 1; Coord.cell 1 1; Coord.cell 2 1 ] in
+        checkb "no route" true
+          (Transport.plan t ~src:(Coord.cell 0 0) ~dst:(Coord.cell 0 2) ~avoid
+          = None));
+    case "rejects obstacle endpoints" (fun () ->
+        let t = chip () in
+        Fpva.set_obstacle t (Coord.cell 3 3);
+        checkb "raises" true
+          (try
+             ignore (Transport.plan t ~src:(Coord.cell 3 3) ~dst:(Coord.cell 0 0));
+             false
+           with Invalid_argument _ -> true));
+    case "routes through valves are watertight" (fun () ->
+        let t = chip () in
+        match Transport.plan t ~src:(Coord.cell 4 0) ~dst:(Coord.cell 4 7) with
+        | Some r -> checkb "isolated" true (Transport.isolated t r)
+        | None -> Alcotest.fail "no route");
+    case "routes along channels can leak" (fun () ->
+        let t = small_full_layout 3 5 in
+        (* a channel sticking out of the route *)
+        Fpva.set_edge t (Coord.S (Coord.cell 0 2)) Fpva.Open_channel;
+        match Transport.plan t ~src:(Coord.cell 0 0) ~dst:(Coord.cell 0 4) with
+        | Some r ->
+          checkb "route itself avoids nothing" true
+            (List.mem (Coord.cell 0 2) r.Transport.cells);
+          checkb "leak detected" false (Transport.isolated t r)
+        | None -> Alcotest.fail "no route");
+    qcheck_layout ~count:40 "planned routes are simple and adjacent"
+      (fun t ->
+        let cells = Fpva.fluid_cells t in
+        match cells with
+        | src :: rest -> (
+          let dst = List.nth rest (List.length rest - 1) in
+          match Transport.plan t ~src ~dst with
+          | None -> true
+          | Some r ->
+            let distinct =
+              List.length r.Transport.cells
+              = List.length
+                  (List.sort_uniq Coord.compare_cell r.Transport.cells)
+            in
+            let rec adjacent = function
+              | a :: (b :: _ as rest) ->
+                abs (a.Coord.row - b.Coord.row)
+                + abs (a.Coord.col - b.Coord.col)
+                = 1
+                && adjacent rest
+              | [] | [ _ ] -> true
+            in
+            distinct && adjacent r.Transport.cells)
+        | [] -> true);
+  ]
+
+let tests = device_tests @ transport_tests

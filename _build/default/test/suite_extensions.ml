@@ -1,0 +1,261 @@
+(* Tests for diagnosis, sequencing and MILP presolve. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+
+(* ---------- Diagnosis ---------- *)
+
+let diag_fixture =
+  lazy
+    (let t = Layouts.paper_array 5 in
+     let suite = Pipeline.run t in
+     let faults = Diagnosis.single_faults t in
+     let dict = Diagnosis.build t ~vectors:suite.Pipeline.vectors ~faults in
+     (t, suite, faults, dict))
+
+let diagnosis_tests =
+  [
+    case "single fault universe is 2nv" (fun () ->
+        let t = Layouts.paper_array 5 in
+        checki "2nv" (2 * Fpva.num_valves t)
+          (List.length (Diagnosis.single_faults t)));
+    case "injected fault is always among the candidates" (fun () ->
+        let t, suite, faults, dict = Lazy.force diag_fixture in
+        List.iteri
+          (fun i f ->
+            if i mod 7 = 0 then begin
+              let observed =
+                Diagnosis.syndrome_of t ~vectors:suite.Pipeline.vectors
+                  ~faults:[ f ]
+              in
+              let candidates = Diagnosis.diagnose dict observed in
+              checkb
+                (Format.asprintf "candidate for %a" Fault.pp f)
+                true
+                (List.exists (Fault.equal f) candidates)
+            end)
+          faults);
+    case "clean chip diagnoses to nothing" (fun () ->
+        let t, suite, _, dict = Lazy.force diag_fixture in
+        let observed =
+          Diagnosis.syndrome_of t ~vectors:suite.Pipeline.vectors ~faults:[]
+        in
+        checkb "no candidates" true (Diagnosis.diagnose dict observed = []));
+    case "equivalence classes partition the fault universe" (fun () ->
+        let _, _, faults, dict = Lazy.force diag_fixture in
+        let classes = Diagnosis.equivalence_classes dict in
+        checki "total size" (List.length faults)
+          (List.fold_left (fun acc c -> acc + List.length c) 0 classes);
+        (* every member of a class has the same syndrome as the suite shows
+           through distinguishing_vector: no vector separates classmates *)
+        let t, suite, _, _ = Lazy.force diag_fixture in
+        List.iter
+          (fun cls ->
+            match cls with
+            | a :: rest ->
+              List.iter
+                (fun b ->
+                  checkb "indistinguishable" true
+                    (Diagnosis.distinguishing_vector t
+                       suite.Pipeline.vectors a b
+                    = None))
+                rest
+            | [] -> ())
+          classes);
+    case "resolution is meaningfully high on the 5x5 suite" (fun () ->
+        let _, _, _, dict = Lazy.force diag_fixture in
+        let r = Diagnosis.resolution dict in
+        checkb (Printf.sprintf "resolution %.2f > 0.5" r) true (r > 0.5));
+    case "distinguishing_vector is consistent with diagnose" (fun () ->
+        let t, suite, faults, _ = Lazy.force diag_fixture in
+        match faults with
+        | f1 :: f2 :: _ -> (
+          match
+            Diagnosis.distinguishing_vector t suite.Pipeline.vectors f1 f2
+          with
+          | Some v ->
+            checkb "tells apart" true
+              (Simulator.detects t ~faults:[ f1 ] v
+              <> Simulator.detects t ~faults:[ f2 ] v)
+          | None -> ())
+        | _ -> Alcotest.fail "not enough faults");
+    case "subsuming diagnosis covers multi-fault observations" (fun () ->
+        let t, suite, _, dict = Lazy.force diag_fixture in
+        let faults = [ Fault.Stuck_at_0 0; Fault.Stuck_at_1 10 ] in
+        let observed =
+          Diagnosis.syndrome_of t ~vectors:suite.Pipeline.vectors ~faults
+        in
+        let candidates = Diagnosis.diagnose_subsuming dict observed in
+        (* at least one of the two injected faults explains part of it *)
+        checkb "some component found" true
+          (List.exists
+             (fun f -> List.exists (Fault.equal f) candidates)
+             faults));
+  ]
+
+(* ---------- Sequencer ---------- *)
+
+let sequencer_tests =
+  [
+    case "order is a permutation" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let suite = Pipeline.run t in
+        let ordered = Sequencer.order t suite.Pipeline.vectors in
+        checki "same size" (List.length suite.Pipeline.vectors)
+          (List.length ordered);
+        List.iter
+          (fun v -> checkb "member" true (List.memq v suite.Pipeline.vectors))
+          ordered);
+    case "never increases switching cost" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let suite = Pipeline.run t in
+        let before, after = Sequencer.improvement t suite.Pipeline.vectors in
+        checkb
+          (Printf.sprintf "after (%d) <= before (%d)" after before)
+          true (after <= before));
+    case "reduces cost on the paper suites" (fun () ->
+        let t = Layouts.paper_array 10 in
+        let suite = Pipeline.run t in
+        let before, after = Sequencer.improvement t suite.Pipeline.vectors in
+        checkb
+          (Printf.sprintf "strict improvement (%d -> %d)" before after)
+          true (after < before));
+    case "switching_cost counts the lead-in" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let suite = Pipeline.run t in
+        match suite.Pipeline.vectors with
+        | v :: _ ->
+          checki "single vector" (Test_vector.open_count v)
+            (Sequencer.switching_cost [ v ])
+        | [] -> Alcotest.fail "no vectors");
+    case "empty and singleton suites" (fun () ->
+        let t = Layouts.paper_array 5 in
+        checki "empty" 0 (Sequencer.switching_cost []);
+        checkb "empty order" true (Sequencer.order t [] = []));
+    case "detection is order-independent" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let suite = Pipeline.run t in
+        let ordered = Sequencer.order t suite.Pipeline.vectors in
+        for v = 0 to Fpva.num_valves t - 1 do
+          checkb "sa0 still caught" true
+            (Simulator.detected_by_suite t ~faults:[ Fault.Stuck_at_0 v ]
+               ordered)
+        done);
+  ]
+
+(* ---------- Presolve ---------- *)
+
+module Lp = Fpva_milp.Lp
+module Presolve = Fpva_milp.Presolve
+module Bb = Fpva_milp.Branch_bound
+
+let presolve_tests =
+  [
+    case "tightens a simple chain" (fun () ->
+        (* x + y <= 3, x >= 2  ==>  y <= 1 *)
+        let lp = Lp.create Lp.Minimize in
+        let x = Lp.add_var lp ~lower:2.0 Lp.Continuous in
+        let y = Lp.add_var lp Lp.Continuous in
+        ignore x;
+        Lp.add_constr lp [ (1.0, x); (1.0, y) ] Lp.Le 3.0;
+        match Presolve.bounds lp with
+        | Presolve.Tightened { upper; _ } ->
+          check (Alcotest.float 1e-9) "y upper" 1.0 upper.(1)
+        | Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+    case "rounds integer bounds inward" (fun () ->
+        (* 2x <= 5, x integer  ==>  x <= 2 *)
+        let lp = Lp.create Lp.Minimize in
+        let x = Lp.add_var lp Lp.Integer in
+        Lp.add_constr lp [ (2.0, x) ] Lp.Le 5.0;
+        match Presolve.bounds lp with
+        | Presolve.Tightened { upper; _ } ->
+          check (Alcotest.float 1e-9) "x upper" 2.0 upper.(0)
+        | Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+    case "proves infeasibility" (fun () ->
+        let lp = Lp.create Lp.Minimize in
+        let x = Lp.add_var lp ~upper:1.0 Lp.Binary in
+        Lp.add_constr lp [ (1.0, x) ] Lp.Ge 2.0;
+        checkb "infeasible" true (Presolve.bounds lp = Presolve.Proven_infeasible));
+    case "fixes forced binaries" (fun () ->
+        (* x + y >= 2 with binaries forces both to 1 *)
+        let lp = Lp.create Lp.Minimize in
+        let x = Lp.add_var lp Lp.Binary in
+        let y = Lp.add_var lp Lp.Binary in
+        ignore x;
+        ignore y;
+        Lp.add_constr lp [ (1.0, x); (1.0, y) ] Lp.Ge 2.0;
+        match Presolve.bounds lp with
+        | Presolve.Tightened { lower; fixed; _ } ->
+          checki "both fixed" 2 fixed;
+          check (Alcotest.float 0.0) "x low" 1.0 lower.(0);
+          check (Alcotest.float 0.0) "y low" 1.0 lower.(1)
+        | Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+    case "propagates through equalities both ways" (fun () ->
+        (* x + y = 1, binaries: no tightening beyond [0,1]; but with
+           x >= 1: y must be 0 *)
+        let lp = Lp.create Lp.Minimize in
+        let x = Lp.add_var lp ~lower:1.0 Lp.Binary in
+        let y = Lp.add_var lp Lp.Binary in
+        ignore x;
+        Lp.add_constr lp [ (1.0, x); (1.0, y) ] Lp.Eq 1.0;
+        match Presolve.bounds lp with
+        | Presolve.Tightened { upper; _ } ->
+          check (Alcotest.float 0.0) "y fixed 0" 0.0 upper.(1)
+        | Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+    case "never cuts off feasible points" (fun () ->
+        (* sanity against the brute-force ILP generator of suite_milp *)
+        let lp = Lp.create Lp.Maximize in
+        let xs = Array.init 4 (fun _ -> Lp.add_var lp ~upper:3.0 Lp.Integer) in
+        Lp.add_constr lp
+          (Array.to_list (Array.map (fun x -> (1.0, x)) xs))
+          Lp.Le 6.0;
+        Lp.add_constr lp [ (1.0, xs.(0)); (-1.0, xs.(1)) ] Lp.Ge 1.0;
+        match Presolve.bounds lp with
+        | Presolve.Tightened { lower; upper; _ } ->
+          (* enumerate all integer points and check none is lost *)
+          let ok = ref true in
+          let x = Array.make 4 0.0 in
+          let rec go j =
+            if j = 4 then begin
+              if Lp.check_feasible lp x then
+                Array.iteri
+                  (fun i v ->
+                    if v < lower.(i) -. 1e-9 || v > upper.(i) +. 1e-9 then
+                      ok := false)
+                  x
+            end
+            else
+              for v = 0 to 3 do
+                x.(j) <- float_of_int v;
+                go (j + 1)
+              done
+          in
+          go 0;
+          checkb "no feasible point outside" true !ok
+        | Presolve.Proven_infeasible -> Alcotest.fail "not infeasible");
+    case "branch & bound agrees with and without presolve" (fun () ->
+        let mk () =
+          let lp = Lp.create Lp.Maximize in
+          let xs = Array.init 5 (fun _ -> Lp.add_var lp Lp.Binary) in
+          Lp.add_constr lp
+            (Array.to_list
+               (Array.mapi (fun i x -> (float_of_int (i + 1), x)) xs))
+            Lp.Le 7.0;
+          Lp.set_objective lp
+            (Array.to_list
+               (Array.mapi (fun i x -> (float_of_int ((i * 2) + 1), x)) xs));
+          lp
+        in
+        let solve presolve =
+          match
+            Bb.solve ~options:{ Bb.default_options with Bb.presolve } (mk ())
+          with
+          | Bb.Optimal s -> s.Fpva_milp.Simplex.objective
+          | _ -> nan
+        in
+        check (Alcotest.float 1e-9) "same optimum" (solve true) (solve false));
+  ]
+
+let tests = diagnosis_tests @ sequencer_tests @ presolve_tests

@@ -1,0 +1,188 @@
+(* Tests for flow-path generation: contraction, coverage, soundness,
+   serpentines, forbidden valves. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+
+
+(* Agreement check: a valve left uncovered must also defeat an independent
+   targeted search (different seed, big weight on the valve).  Dead-end
+   pockets make some valves genuinely uncoverable by simple paths, so strict
+   emptiness is not a theorem on random layouts. *)
+let uncoverable_agreed t v =
+  let prob, mapping = Flow_path.problem t in
+  match Flow_path.edge_id_of_mapping mapping (Fpva.edge_of_valve t v) with
+  | None -> true (* bypassed: not even in the instance *)
+  | Some e ->
+    let weight = Array.make prob.Problem.num_edges 0.0 in
+    weight.(e) <- 1000.0;
+    let params = { Path_search.default_params with Path_search.seed = 99991 } in
+    (match Path_search.find ~params prob ~weight with
+    | None -> true
+    | Some p ->
+      let path = Flow_path.of_problem_path t mapping p in
+      not (List.mem v path.Flow_path.valve_ids))
+
+let flow_tests =
+  [
+    case "full 4x4 covered" (fun () ->
+        let t = small_full_layout 4 4 in
+        let paths, uncovered = Flow_path.generate t in
+        checkb "covers" true (Flow_path.covers_all_valves t paths);
+        checkb "none uncovered" true (uncovered = []));
+    case "paths are sound (single-fault detecting)" (fun () ->
+        let t = small_full_layout 5 5 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p -> checkb "sound" true (Flow_path.sound t p))
+          paths);
+    case "path endpoints are the declared ports" (fun () ->
+        let t = small_full_layout 4 4 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p ->
+            let ports = Fpva.ports t in
+            checkb "src is source" true
+              (ports.(p.Flow_path.source).Fpva.kind = Fpva.Source);
+            checkb "snk is sink" true
+              (ports.(p.Flow_path.sink).Fpva.kind = Fpva.Sink);
+            (match p.Flow_path.cells with
+            | first :: _ ->
+              checkb "starts at port cell" true
+                (Fpva.port_cell t ports.(p.Flow_path.source) = first)
+            | [] -> Alcotest.fail "empty path");
+            match List.rev p.Flow_path.cells with
+            | last :: _ ->
+              checkb "ends at port cell" true
+                (Fpva.port_cell t ports.(p.Flow_path.sink) = last)
+            | [] -> Alcotest.fail "empty path")
+          paths);
+    case "path cells are simple and connected" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p ->
+            let cells = p.Flow_path.cells in
+            checki "distinct cells" (List.length cells)
+              (List.length (List.sort_uniq Coord.compare_cell cells));
+            let rec adjacent = function
+              | a :: (b :: _ as rest) ->
+                abs (a.Coord.row - b.Coord.row)
+                + abs (a.Coord.col - b.Coord.col)
+                = 1
+                && adjacent rest
+              | [] | [ _ ] -> true
+            in
+            checkb "steps adjacent" true (adjacent cells))
+          paths);
+    case "edges consistent with cells" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p ->
+            checki "one edge per step"
+              (List.length p.Flow_path.cells - 1)
+              (List.length p.Flow_path.edges))
+          paths);
+    case "valve_ids are exactly the valve edges" (fun () ->
+        let t = Layouts.paper_array 5 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p ->
+            let expected =
+              List.filter_map (Fpva.valve_id_opt t) p.Flow_path.edges
+            in
+            checkb "ids" true (expected = p.Flow_path.valve_ids))
+          paths);
+    case "contraction: no open-channel chord in any path" (fun () ->
+        let t = Layouts.paper_array 10 in
+        let paths, _ = Flow_path.generate t in
+        List.iter
+          (fun p -> checkb "sound" true (Flow_path.sound t p))
+          paths);
+    case "bypassed valve reported, not covered" (fun () ->
+        (* Build a ring of open channels around a valve: cells (0,0),(0,1),
+           (1,0),(1,1) with three open edges so the fourth (a valve) is
+           permanently bypassed. *)
+        let t = Fpva.create ~rows:2 ~cols:3 in
+        Fpva.add_port t
+          { Fpva.side = Coord.West; offset = 0; kind = Fpva.Source };
+        Fpva.add_port t
+          { Fpva.side = Coord.East; offset = 0; kind = Fpva.Sink };
+        Fpva.set_edge t (Coord.E (Coord.cell 0 0)) Fpva.Open_channel;
+        Fpva.set_edge t (Coord.S (Coord.cell 0 0)) Fpva.Open_channel;
+        Fpva.set_edge t (Coord.S (Coord.cell 0 1)) Fpva.Open_channel;
+        (* valve E(1,0) joins (1,0)-(1,1): both in the channel component *)
+        let bypassed = Fpva.valve_id t (Coord.E (Coord.cell 1 0)) in
+        let _, mapping = Flow_path.problem t in
+        check (Alcotest.list Alcotest.int) "bypassed" [ bypassed ]
+          (Flow_path.bypassed_valves mapping);
+        let _, uncovered = Flow_path.generate t in
+        checkb "reported uncovered" true (List.mem bypassed uncovered));
+    case "forbidden valve never appears on a path" (fun () ->
+        let t = small_full_layout 4 4 in
+        let banned = 3 in
+        let prob, mapping = Flow_path.problem ~forbidden_valves:[ banned ] t in
+        let weight =
+          Array.map (fun r -> if r then 1.0 else 0.0) prob.Problem.required
+        in
+        (match Path_search.find prob ~weight with
+        | Some p ->
+          let path = Flow_path.of_problem_path t mapping p in
+          checkb "banned absent" true
+            (not (List.mem banned path.Flow_path.valve_ids))
+        | None -> Alcotest.fail "no path");
+        checkb "banned not in problem" true
+          (Flow_path.edge_id_of_mapping mapping (Fpva.edge_of_valve t banned)
+          = None));
+    case "serpentine seeds cover a full array in two paths" (fun () ->
+        (* source W0 + sinks at W(rows-1) and E0 let both serpentine
+           orientations attach, as in the paper's Fig 8(a) *)
+        let t = Fpva.create ~rows:6 ~cols:6 in
+        Fpva.add_port t
+          { Fpva.side = Coord.West; offset = 0; kind = Fpva.Source };
+        Fpva.add_port t
+          { Fpva.side = Coord.West; offset = 5; kind = Fpva.Sink };
+        Fpva.add_port t
+          { Fpva.side = Coord.North; offset = 5; kind = Fpva.Sink };
+        let seeds = Flow_path.serpentine_seeds t in
+        checkb "seeds exist" true (seeds <> []);
+        let paths, uncovered = Flow_path.generate t in
+        checkb "covered" true (uncovered = []);
+        checki "two paths" 2 (List.length paths));
+    case "no serpentine seeds when obstacles exist" (fun () ->
+        let t = small_full_layout 4 4 in
+        Fpva.set_obstacle t (Coord.cell 1 1);
+        checkb "no seeds" true (Flow_path.serpentine_seeds t = []));
+    slow_case "direct ILP minimum on 2x2 equals 1 path" (fun () ->
+        let t = Fpva.create ~rows:2 ~cols:2 in
+        Fpva.add_port t
+          { Fpva.side = Coord.West; offset = 0; kind = Fpva.Source };
+        Fpva.add_port t
+          { Fpva.side = Coord.East; offset = 1; kind = Fpva.Sink };
+        (* 4 valves form a ring; a single path 0,0 -> 0,1 -> 1,1 covers 2,
+           so 2 paths are needed; verify the exact optimum. *)
+        match Flow_path.minimum ~max_paths:3 t with
+        | Some paths ->
+          checkb "covers" true (Flow_path.covers_all_valves t paths);
+          checki "exactly two" 2 (List.length paths)
+        | None -> Alcotest.fail "no cover");
+    qcheck_layout ~count:40 "generate accounts for every valve on random layouts"
+      (fun t ->
+        let paths, uncovered = Flow_path.generate t in
+        let covered = Array.make (Fpva.num_valves t) false in
+        List.iter
+          (fun p -> List.iter (fun v -> covered.(v) <- true) p.Flow_path.valve_ids)
+          paths;
+        (* every valve is covered or reported, and reported valves agree
+           with an independent targeted search *)
+        Array.for_all (fun b -> b)
+          (Array.mapi (fun v c -> c || List.mem v uncovered) covered)
+        && List.for_all (uncoverable_agreed t) uncovered);
+    qcheck_layout ~count:30 "all generated paths are sound" (fun t ->
+        let paths, _ = Flow_path.generate t in
+        List.for_all (Flow_path.sound t) paths);
+  ]
+
+let tests = flow_tests

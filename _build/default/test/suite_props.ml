@@ -1,0 +1,128 @@
+(* Cross-cutting properties: monotonicity and consistency laws that tie the
+   subsystems together. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+
+let tests =
+  [
+    qcheck_layout ~count:40 "pressure is monotone in the open valve set"
+      (fun t ->
+        (* opening additional valves can only add pressurized ports *)
+        let rng = Fpva_util.Rng.create 7 in
+        let nv = Fpva.num_valves t in
+        let small = Array.init nv (fun _ -> Fpva_util.Rng.bool rng) in
+        let big = Array.mapi (fun i b -> b || i mod 3 = 0) small in
+        let obs states =
+          Test_vector.golden_response t ~open_valves:states
+        in
+        let a = obs small and b = obs big in
+        let ok = ref true in
+        Array.iteri (fun i x -> if x && not b.(i) then ok := false) a;
+        !ok);
+    qcheck_layout ~count:30 "stuck-at-1 never removes pressure"
+      (fun t ->
+        let rng = Fpva_util.Rng.create 13 in
+        let nv = Fpva.num_valves t in
+        let states = Array.init nv (fun _ -> Fpva_util.Rng.bool rng) in
+        let v = Fpva_util.Rng.int rng nv in
+        let golden = Test_vector.golden_response t ~open_valves:states in
+        let faulty =
+          Simulator.response t ~faults:[ Fault.Stuck_at_1 v ]
+            ~open_valves:states
+        in
+        let ok = ref true in
+        Array.iteri (fun i x -> if x && not faulty.(i) then ok := false) golden;
+        !ok);
+    qcheck_layout ~count:30 "stuck-at-0 never adds pressure"
+      (fun t ->
+        let rng = Fpva_util.Rng.create 17 in
+        let nv = Fpva.num_valves t in
+        let states = Array.init nv (fun _ -> Fpva_util.Rng.bool rng) in
+        let v = Fpva_util.Rng.int rng nv in
+        let golden = Test_vector.golden_response t ~open_valves:states in
+        let faulty =
+          Simulator.response t ~faults:[ Fault.Stuck_at_0 v ]
+            ~open_valves:states
+        in
+        let ok = ref true in
+        Array.iteri (fun i x -> if x && not golden.(i) then ok := false) faulty;
+        !ok);
+    qcheck_layout ~count:20 "pipeline coverage implies detection"
+      (fun t ->
+        (* the central soundness law: every valve the pipeline claims as
+           flow-covered has its SA0 fault detected, and every cut/pierced
+           valve its SA1 fault *)
+        let suite = Pipeline.run t in
+        let covered_flow = Array.make (Fpva.num_valves t) false in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun v -> covered_flow.(v) <- true)
+              (Flow_path.tested_valves t p))
+          suite.Pipeline.flow;
+        let ok = ref true in
+        Array.iteri
+          (fun v c ->
+            if c
+               && not
+                    (Simulator.detected_by_suite t
+                       ~faults:[ Fault.Stuck_at_0 v ]
+                       suite.Pipeline.vectors)
+            then ok := false)
+          covered_flow;
+        List.iter
+          (fun cut ->
+            List.iter
+              (fun v ->
+                if
+                  not
+                    (Simulator.detected_by_suite t
+                       ~faults:[ Fault.Stuck_at_1 v ]
+                       suite.Pipeline.vectors)
+                then ok := false)
+              cut.Cut_set.valve_ids)
+          suite.Pipeline.cuts;
+        !ok);
+    qcheck_layout ~count:20 "tested_valves matches per-valve detection"
+      (fun t ->
+        let paths, _ = Flow_path.generate t in
+        List.for_all
+          (fun p ->
+            let vec = Test_vector.of_flow_path t p in
+            let tested = Flow_path.tested_valves t p in
+            List.for_all
+              (fun v ->
+                let detects =
+                  Simulator.detects t ~faults:[ Fault.Stuck_at_0 v ] vec
+                in
+                detects = List.mem v tested)
+              p.Flow_path.valve_ids)
+          paths);
+    qcheck_layout ~count:20 "suite round-trips through Suite_io" (fun t ->
+        let suite = Pipeline.run t in
+        match Suite_io.of_string t (Suite_io.to_string t suite.Pipeline.vectors) with
+        | Ok vectors ->
+          List.length vectors = List.length suite.Pipeline.vectors
+        | Error _ -> false);
+    qcheck_layout ~count:15 "sequencer never hurts and preserves detection"
+      (fun t ->
+        let suite = Pipeline.run t in
+        let before, after = Sequencer.improvement t suite.Pipeline.vectors in
+        let ordered = Sequencer.order t suite.Pipeline.vectors in
+        after <= before
+        && List.length ordered = List.length suite.Pipeline.vectors);
+    qcheck_layout ~count:10 "compaction preserves detected faults" (fun t ->
+        let suite = Pipeline.run t in
+        let compacted, missed = Compaction.compact t suite.Pipeline.vectors in
+        List.for_all
+          (fun f ->
+            Simulator.detected_by_suite t ~faults:[ f ] compacted
+            || List.exists (Fault.equal f) missed
+            || not
+                 (Simulator.detected_by_suite t ~faults:[ f ]
+                    suite.Pipeline.vectors))
+          (Diagnosis.single_faults t));
+  ]

@@ -1,0 +1,304 @@
+(* Tests for the fault model, pressure simulator and campaigns. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+
+let sample_layout () = Layouts.paper_array 5
+
+let fault_tests =
+  [
+    case "validity checks" (fun () ->
+        let t = sample_layout () in
+        checkb "sa0 ok" true (Fault.is_valid t (Fault.Stuck_at_0 0));
+        checkb "sa1 range" false
+          (Fault.is_valid t (Fault.Stuck_at_1 (Fpva.num_valves t)));
+        checkb "leak distinct" false (Fault.is_valid t (Fault.Control_leak (1, 1)));
+        checkb "leak ok" true (Fault.is_valid t (Fault.Control_leak (0, 1))));
+    case "random faults are valid" (fun () ->
+        let t = sample_layout () in
+        let rng = Fpva_util.Rng.create 1 in
+        for _ = 1 to 200 do
+          checkb "valid" true (Fault.is_valid t (Fault.random rng t))
+        done);
+    case "random_multi distinct valves" (fun () ->
+        let t = sample_layout () in
+        let rng = Fpva_util.Rng.create 2 in
+        for _ = 1 to 50 do
+          let fs = Fault.random_multi rng t ~count:5 in
+          let vs = List.concat_map Fault.valves_involved fs in
+          checki "distinct" 5 (List.length (List.sort_uniq compare vs))
+        done);
+    case "random_multi too many raises" (fun () ->
+        let t = sample_layout () in
+        Alcotest.check_raises "count"
+          (Invalid_argument "Fault.random_multi: more faults than valves")
+          (fun () ->
+            ignore
+              (Fault.random_multi (Fpva_util.Rng.create 1) t
+                 ~count:(Fpva.num_valves t + 1))));
+    case "random_of_classes draws requested classes" (fun () ->
+        let t = sample_layout () in
+        let rng = Fpva_util.Rng.create 3 in
+        for _ = 1 to 100 do
+          match Fault.random_of_classes rng t ~classes:[ `Control_leak ] with
+          | Fault.Control_leak (a, b) ->
+            checkb "adjacent pair drawn" true (a <> b)
+          | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ ->
+            Alcotest.fail "wrong class"
+        done);
+    case "to_string formats" (fun () ->
+        check Alcotest.string "sa0" "SA0(valve 3)"
+          (Fault.to_string (Fault.Stuck_at_0 3));
+        check Alcotest.string "leak" "LEAK(1->2)"
+          (Fault.to_string (Fault.Control_leak (1, 2))));
+  ]
+
+let simulator_tests =
+  [
+    case "stuck-at-0 forces closed" (fun () ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Stuck_at_0 3 ]
+            ~open_valves:(Array.make nv true)
+        in
+        checkb "forced closed" false states.(3);
+        checkb "others untouched" true states.(4));
+    case "stuck-at-1 forces open" (fun () ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Stuck_at_1 7 ]
+            ~open_valves:(Array.make nv false)
+        in
+        checkb "forced open" true states.(7);
+        checkb "others closed" false states.(6));
+    case "sa0 wins over sa1 on the same valve" (fun () ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Stuck_at_1 2; Fault.Stuck_at_0 2 ]
+            ~open_valves:(Array.make nv true)
+        in
+        checkb "closed" false states.(2));
+    case "control leak drags the victim" (fun () ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let open_valves = Array.make nv true in
+        open_valves.(0) <- false;
+        (* aggressor actuated *)
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Control_leak (0, 5) ]
+            ~open_valves
+        in
+        checkb "victim closed" false states.(5);
+        (* aggressor open: no leak *)
+        let open_valves = Array.make nv true in
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Control_leak (0, 5) ]
+            ~open_valves
+        in
+        checkb "victim stays open" true states.(5));
+    case "leak chains propagate" (fun () ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let open_valves = Array.make nv true in
+        open_valves.(0) <- false;
+        let states =
+          Simulator.effective_states t
+            ~faults:[ Fault.Control_leak (0, 1); Fault.Control_leak (1, 2) ]
+            ~open_valves
+        in
+        checkb "first victim" false states.(1);
+        checkb "chained victim" false states.(2));
+    case "response equals golden on a fault-free chip" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        List.iter
+          (fun v ->
+            checkb "no false alarm" false (Simulator.detects t ~faults:[] v))
+          r.Pipeline.vectors);
+    case "suite detects every single stuck-at fault (5x5)" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        for v = 0 to Fpva.num_valves t - 1 do
+          checkb "sa0" true
+            (Simulator.detected_by_suite t
+               ~faults:[ Fault.Stuck_at_0 v ]
+               r.Pipeline.vectors);
+          checkb "sa1" true
+            (Simulator.detected_by_suite t
+               ~faults:[ Fault.Stuck_at_1 v ]
+               r.Pipeline.vectors)
+        done);
+    case "exhaustive two-fault detection (4x4 full)" (fun () ->
+        (* the paper guarantees any two faults are detected *)
+        let t = small_full_layout 4 4 in
+        let r = Pipeline.run t in
+        let nv = Fpva.num_valves t in
+        for i = 0 to nv - 1 do
+          for j = i + 1 to nv - 1 do
+            List.iter
+              (fun (fi, fj) ->
+                checkb
+                  (Printf.sprintf "pair %d/%d" i j)
+                  true
+                  (Simulator.detected_by_suite t ~faults:[ fi; fj ]
+                     r.Pipeline.vectors))
+              [ (Fault.Stuck_at_0 i, Fault.Stuck_at_0 j);
+                (Fault.Stuck_at_0 i, Fault.Stuck_at_1 j);
+                (Fault.Stuck_at_1 i, Fault.Stuck_at_0 j);
+                (Fault.Stuck_at_1 i, Fault.Stuck_at_1 j) ]
+          done
+        done);
+    case "first_detecting returns a detecting vector" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        match
+          Simulator.first_detecting t
+            ~faults:[ Fault.Stuck_at_0 0 ]
+            r.Pipeline.vectors
+        with
+        | Some v ->
+          checkb "detects" true
+            (Simulator.detects t ~faults:[ Fault.Stuck_at_0 0 ] v)
+        | None -> Alcotest.fail "not detected");
+    case "detectable: corner leaks are undetectable" (fun () ->
+        let t = small_full_layout 4 4 in
+        let corner = Coord.cell 0 0 in
+        let v1 = Fpva.valve_id t (Coord.edge_towards corner Coord.East) in
+        let v2 = Fpva.valve_id t (Coord.edge_towards corner Coord.South) in
+        checkb "undetectable" false
+          (Simulator.detectable t ~faults:[ Fault.Control_leak (v1, v2) ]);
+        checkb "normal leak detectable" true
+          (let mid = Coord.cell 1 1 in
+           let a = Fpva.valve_id t (Coord.edge_towards mid Coord.East) in
+           let b = Fpva.valve_id t (Coord.edge_towards mid Coord.South) in
+           Simulator.detectable t ~faults:[ Fault.Control_leak (a, b) ]));
+    case "detectable: stuck faults are detectable" (fun () ->
+        let t = sample_layout () in
+        checkb "sa0" true (Simulator.detectable t ~faults:[ Fault.Stuck_at_0 0 ]);
+        checkb "sa1" true (Simulator.detectable t ~faults:[ Fault.Stuck_at_1 0 ]));
+    qcheck ~count:30 "random multi-fault sets detected on 5x5"
+      QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 5))
+      (fun (seed, k) ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let rng = Fpva_util.Rng.create seed in
+        let faults = Fault.random_multi rng t ~count:k in
+        Simulator.detected_by_suite t ~faults r.Pipeline.vectors);
+  ]
+
+let campaign_tests =
+  [
+    case "campaign reproducible per seed" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with Campaign.trials = 200 }
+        in
+        let a = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        let b = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        List.iter2
+          (fun ra rb ->
+            checki "same detected" ra.Campaign.detected rb.Campaign.detected)
+          a.Campaign.rows b.Campaign.rows);
+    case "campaign counts are consistent" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with Campaign.trials = 300 }
+        in
+        let res = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        List.iter
+          (fun row ->
+            checki "trials" 300 row.Campaign.trials;
+            checki "escapes + detected = trials" 300
+              (row.Campaign.detected + List.length row.Campaign.escapes))
+          res.Campaign.rows);
+    case "stuck-at campaign achieves full detection (paper result)"
+      (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with Campaign.trials = 1500 }
+        in
+        let res = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        List.iter
+          (fun row ->
+            check (Alcotest.float 0.0) "rate 1.0" 1.0
+              (Campaign.detection_rate row))
+          res.Campaign.rows);
+    case "mean latency is a sensible vector index" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with Campaign.trials = 400 }
+        in
+        let res = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        List.iter
+          (fun row ->
+            let l = row.Campaign.mean_latency in
+            checkb "within suite" true
+              (l >= 1.0 && l <= float_of_int (List.length r.Pipeline.vectors)))
+          res.Campaign.rows);
+    case "latency shrinks with more faults" (fun () ->
+        (* more simultaneous faults -> caught earlier on average *)
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with Campaign.trials = 2000 }
+        in
+        let res = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        match res.Campaign.rows with
+        | one :: _ ->
+          let five = List.nth res.Campaign.rows 4 in
+          checkb "monotone-ish" true
+            (five.Campaign.mean_latency <= one.Campaign.mean_latency +. 0.5)
+        | [] -> Alcotest.fail "no rows");
+    case "empty suite detects nothing" (fun () ->
+        let t = sample_layout () in
+        let config =
+          { Campaign.default_config with Campaign.trials = 50 }
+        in
+        let res = Campaign.run ~config t ~vectors:[] in
+        List.iter
+          (fun row -> checki "none" 0 row.Campaign.detected)
+          res.Campaign.rows);
+    case "mixed-class campaign runs and classifies" (fun () ->
+        let t = sample_layout () in
+        let r = Pipeline.run t in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 300;
+            classes = [ `Stuck_at_0; `Stuck_at_1; `Control_leak ] }
+        in
+        let res = Campaign.run ~config t ~vectors:r.Pipeline.vectors in
+        (* every escape must involve a control leak (stuck-at singles are
+           fully covered) and be undetectable *)
+        List.iter
+          (fun row ->
+            List.iter
+              (fun faults ->
+                if List.length faults = 1 then begin
+                  checkb "escape has a leak" true
+                    (List.exists
+                       (function
+                         | Fault.Control_leak _ -> true
+                         | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ -> false)
+                       faults);
+                  checkb "escape is undetectable" false
+                    (Simulator.detectable t ~faults)
+                end)
+              row.Campaign.escapes)
+          res.Campaign.rows);
+  ]
+
+let tests = fault_tests @ simulator_tests @ campaign_tests

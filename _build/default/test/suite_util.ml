@@ -1,0 +1,244 @@
+(* Tests for the fpva.util substrate: Vec, Rng, Stats, Table. *)
+
+open Helpers
+module Vec = Fpva_util.Vec
+module Rng = Fpva_util.Rng
+module Stats = Fpva_util.Stats
+module Table = Fpva_util.Table
+
+(* ---------- Vec ---------- *)
+
+let vec_tests =
+  [
+    case "create is empty" (fun () ->
+        let v = Vec.create () in
+        checki "len" 0 (Vec.length v);
+        checkb "is_empty" true (Vec.is_empty v));
+    case "push/get/set" (fun () ->
+        let v = Vec.create () in
+        for i = 0 to 99 do
+          Vec.push v (i * i)
+        done;
+        checki "len" 100 (Vec.length v);
+        checki "get 7" 49 (Vec.get v 7);
+        Vec.set v 7 (-1);
+        checki "set 7" (-1) (Vec.get v 7);
+        checki "last" (99 * 99) (Vec.last v));
+    case "pop returns in LIFO order" (fun () ->
+        let v = Vec.of_list [ 1; 2; 3 ] in
+        checki "pop" 3 (Vec.pop v);
+        checki "pop" 2 (Vec.pop v);
+        checki "len" 1 (Vec.length v));
+    case "make fills" (fun () ->
+        let v = Vec.make 5 'x' in
+        checki "len" 5 (Vec.length v);
+        check Alcotest.char "fill" 'x' (Vec.get v 4));
+    case "out of bounds raises" (fun () ->
+        let v = Vec.of_list [ 1 ] in
+        Alcotest.check_raises "get" (Invalid_argument "Vec.get") (fun () ->
+            ignore (Vec.get v 1));
+        Alcotest.check_raises "set" (Invalid_argument "Vec.set") (fun () ->
+            Vec.set v (-1) 0));
+    case "pop empty raises" (fun () ->
+        Alcotest.check_raises "pop" (Invalid_argument "Vec.pop") (fun () ->
+            ignore (Vec.pop (Vec.create ()))));
+    case "clear retains nothing" (fun () ->
+        let v = Vec.of_list [ 1; 2 ] in
+        Vec.clear v;
+        checkb "empty" true (Vec.is_empty v));
+    case "iterators traverse in order" (fun () ->
+        let v = Vec.of_list [ 10; 20; 30 ] in
+        let acc = ref [] in
+        Vec.iter (fun x -> acc := x :: !acc) v;
+        check (Alcotest.list Alcotest.int) "iter" [ 30; 20; 10 ] !acc;
+        let idx = ref [] in
+        Vec.iteri (fun i _ -> idx := i :: !idx) v;
+        check (Alcotest.list Alcotest.int) "iteri" [ 2; 1; 0 ] !idx);
+    case "fold/map/exists" (fun () ->
+        let v = Vec.of_list [ 1; 2; 3; 4 ] in
+        checki "fold" 10 (Vec.fold_left ( + ) 0 v);
+        check (Alcotest.list Alcotest.int) "map"
+          [ 2; 4; 6; 8 ]
+          (Vec.to_list (Vec.map (fun x -> 2 * x) v));
+        checkb "exists" true (Vec.exists (fun x -> x = 3) v);
+        checkb "not exists" false (Vec.exists (fun x -> x > 4) v));
+    case "copy is independent" (fun () ->
+        let v = Vec.of_list [ 1; 2 ] in
+        let w = Vec.copy v in
+        Vec.set w 0 99;
+        checki "orig" 1 (Vec.get v 0));
+    qcheck "to_list/of_list round-trips"
+      QCheck2.Gen.(list int)
+      (fun xs -> Vec.to_list (Vec.of_list xs) = xs);
+    qcheck "push grows one at a time"
+      QCheck2.Gen.(list int)
+      (fun xs ->
+        let v = Vec.create () in
+        List.for_all
+          (fun x ->
+            let before = Vec.length v in
+            Vec.push v x;
+            Vec.length v = before + 1 && Vec.last v = x)
+          xs);
+  ]
+
+(* ---------- Rng ---------- *)
+
+let rng_tests =
+  [
+    case "deterministic per seed" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          checki "stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    case "different seeds diverge" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let da = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+        let db = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+        checkb "diverge" true (da <> db));
+    case "int bound respected" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Rng.int r 17 in
+          checkb "in range" true (x >= 0 && x < 17)
+        done);
+    case "int invalid bound raises" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int") (fun () ->
+            ignore (Rng.int (Rng.create 1) 0)));
+    case "float in range" (fun () ->
+        let r = Rng.create 5 in
+        for _ = 1 to 1000 do
+          let x = Rng.float r 2.5 in
+          checkb "in range" true (x >= 0.0 && x < 2.5)
+        done);
+    case "bool is not constant" (fun () ->
+        let r = Rng.create 11 in
+        let xs = List.init 64 (fun _ -> Rng.bool r) in
+        checkb "both values" true
+          (List.mem true xs && List.mem false xs));
+    case "sample_without_replacement distinct and in range" (fun () ->
+        let r = Rng.create 13 in
+        for _ = 1 to 100 do
+          let xs = Rng.sample_without_replacement r 5 12 in
+          checki "count" 5 (List.length xs);
+          checki "distinct" 5 (List.length (List.sort_uniq compare xs));
+          checkb "range" true (List.for_all (fun x -> x >= 0 && x < 12) xs)
+        done);
+    case "sample k=n is a permutation" (fun () ->
+        let r = Rng.create 17 in
+        let xs = Rng.sample_without_replacement r 8 8 in
+        check
+          (Alcotest.list Alcotest.int)
+          "perm" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+          (List.sort compare xs));
+    case "sample invalid raises" (fun () ->
+        Alcotest.check_raises "k>n"
+          (Invalid_argument "Rng.sample_without_replacement") (fun () ->
+            ignore (Rng.sample_without_replacement (Rng.create 1) 5 3)));
+    case "shuffle preserves multiset" (fun () ->
+        let r = Rng.create 23 in
+        let a = Array.init 50 (fun i -> i) in
+        Rng.shuffle_in_place r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check
+          (Alcotest.array Alcotest.int)
+          "multiset"
+          (Array.init 50 (fun i -> i))
+          sorted);
+    case "int roughly uniform" (fun () ->
+        (* chi-square-lite: all 10 buckets within generous bounds *)
+        let r = Rng.create 31 in
+        let buckets = Array.make 10 0 in
+        let n = 100_000 in
+        for _ = 1 to n do
+          let x = Rng.int r 10 in
+          buckets.(x) <- buckets.(x) + 1
+        done;
+        Array.iter
+          (fun c ->
+            checkb "bucket within 5% of mean" true
+              (abs (c - (n / 10)) < n / 20))
+          buckets);
+  ]
+
+(* ---------- Stats ---------- *)
+
+let stats_tests =
+  [
+    case "summarize basics" (fun () ->
+        let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+        checki "n" 4 s.Stats.n;
+        check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean;
+        check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+        check (Alcotest.float 1e-9) "max" 4.0 s.Stats.max;
+        check (Alcotest.float 1e-6) "stddev" 1.29099444874 s.Stats.stddev);
+    case "summarize singleton has zero stddev" (fun () ->
+        let s = Stats.summarize [| 42.0 |] in
+        check (Alcotest.float 0.0) "sd" 0.0 s.Stats.stddev);
+    case "summarize empty raises" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize")
+          (fun () -> ignore (Stats.summarize [||])));
+    case "percentile interpolates" (fun () ->
+        let a = [| 10.0; 20.0; 30.0; 40.0 |] in
+        check (Alcotest.float 1e-9) "p0" 10.0 (Stats.percentile a 0.0);
+        check (Alcotest.float 1e-9) "p100" 40.0 (Stats.percentile a 100.0);
+        check (Alcotest.float 1e-9) "p50" 25.0 (Stats.percentile a 50.0));
+    case "percentile unsorted input" (fun () ->
+        let a = [| 30.0; 10.0; 40.0; 20.0 |] in
+        check (Alcotest.float 1e-9) "p50" 25.0 (Stats.percentile a 50.0));
+    case "ratio" (fun () ->
+        check (Alcotest.float 1e-9) "half" 0.5 (Stats.ratio 1 2);
+        check (Alcotest.float 0.0) "zero den" 0.0 (Stats.ratio 1 0));
+    qcheck "mean within min..max"
+      QCheck2.Gen.(list_size (int_range 1 40) (float_bound_inclusive 100.0))
+      (fun xs ->
+        let a = Array.of_list xs in
+        let s = Stats.summarize a in
+        s.Stats.mean >= s.Stats.min -. 1e-9
+        && s.Stats.mean <= s.Stats.max +. 1e-9);
+  ]
+
+(* ---------- Table ---------- *)
+
+let table_tests =
+  [
+    case "renders header and rows aligned" (fun () ->
+        let t = Table.create [ ("name", Table.Left); ("n", Table.Right) ] in
+        Table.add_row t [ "alpha"; "1" ];
+        Table.add_row t [ "b"; "100" ];
+        let s = Table.render t in
+        let lines = String.split_on_char '\n' s in
+        checki "line count" 4 (List.length lines);
+        (* all lines same width *)
+        match lines with
+        | first :: rest ->
+          List.iter
+            (fun l -> checki "width" (String.length first) (String.length l))
+            rest
+        | [] -> Alcotest.fail "no lines");
+    case "right alignment pads left" (fun () ->
+        let t = Table.create [ ("x", Table.Right) ] in
+        Table.add_row t [ "1" ];
+        Table.add_row t [ "100" ];
+        let s = Table.render t in
+        checkb "padded" true
+          (List.exists
+             (fun l -> l = "  1")
+             (String.split_on_char '\n' s)));
+    case "wrong arity raises" (fun () ->
+        let t = Table.create [ ("a", Table.Left) ] in
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Table.add_row: wrong arity") (fun () ->
+            Table.add_row t [ "x"; "y" ]));
+    case "separator adds a rule" (fun () ->
+        let t = Table.create [ ("a", Table.Left) ] in
+        Table.add_row t [ "x" ];
+        Table.add_separator t;
+        Table.add_row t [ "y" ];
+        let lines = String.split_on_char '\n' (Table.render t) in
+        checki "5 lines" 5 (List.length lines));
+  ]
+
+let tests =
+  vec_tests @ rng_tests @ stats_tests @ table_tests
