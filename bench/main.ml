@@ -38,7 +38,7 @@ let table1 () =
     List.map
       (fun (label, fpva) ->
         let n = Fpva.rows fpva in
-        let r = Pipeline.run fpva in
+        let r = Pipeline.run_exn fpva in
         Report.table1_row table
           ~label:(Printf.sprintf "%d x %d" n n)
           ~top:(Printf.sprintf "%d x %d" (n / 5) (n / 5))
@@ -135,7 +135,7 @@ let faults ~trials () =
   in
   List.iter
     (fun (label, fpva) ->
-      let suite = Pipeline.run fpva in
+      let suite = Pipeline.run_exn fpva in
       let config =
         { Fpva_sim.Campaign.default_config with Fpva_sim.Campaign.trials }
       in
@@ -327,7 +327,7 @@ let extensions () =
   in
   List.iter
     (fun (label, fpva) ->
-      let suite = Pipeline.run fpva in
+      let suite = Pipeline.run_exn fpva in
       let faults = Fpva_sim.Diagnosis.single_faults fpva in
       let dict =
         Fpva_sim.Diagnosis.build fpva ~vectors:suite.Pipeline.vectors ~faults

@@ -129,15 +129,43 @@ let sequence_t =
              the saving." in
   Arg.(value & flag & info [ "sequence" ] ~doc)
 
+let time_limit_t =
+  let doc = "Wall-clock budget in seconds for the whole pipeline.  Stages \
+             share it (flow half, cut-sets 60% of the rest, leakage the \
+             remainder); on exhaustion generation stops early and the \
+             partial suite is reported with its degradation." in
+  Arg.(
+    value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
+
+let strict_t =
+  let doc = "Exit with status 1 when generation degraded (engine fallbacks \
+             or partial stages) or the suite fails self-checks.  Without \
+             this flag a degraded-but-well-formed suite exits 0." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let generate_cmd =
   let run name rows cols file direct block no_leak routing render sequence
-      output =
+      output time_limit strict =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~routing ~direct ~block ~no_leak () in
-    let result = Pipeline.run ~config fpva in
+    let budget =
+      match time_limit with
+      | Some s -> Budget.of_seconds s
+      | None -> Budget.unlimited
+    in
+    let result =
+      match Pipeline.run ~config ~budget fpva with
+      | Ok result -> result
+      | Error msg ->
+        prerr_endline ("error: invalid layout: " ^ msg);
+        exit 2
+    in
     print_endline (Report.summary result);
-    if not (Pipeline.suite_ok result) then
-      print_endline "WARNING: suite failed self-checks";
+    print_endline (Report.degradation_summary result);
+    let ok = Pipeline.suite_ok result in
+    if not ok then print_endline "WARNING: suite failed self-checks";
+    if Pipeline.degraded result then
+      print_endline "WARNING: generation degraded (see per-stage report)";
     if sequence then begin
       let before, after =
         Sequencer.improvement fpva result.Pipeline.vectors
@@ -161,12 +189,14 @@ let generate_cmd =
           Printf.printf "\nCut-set %d:\n" (i + 1);
           print_endline (Report.render_cut fpva cut))
         result.Pipeline.cuts
-    end
+    end;
+    if strict && (Pipeline.degraded result || not ok) then exit 1
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
-      $ no_leak_t $ routing_t $ render_t $ sequence_t $ output_t)
+      $ no_leak_t $ routing_t $ render_t $ sequence_t $ output_t
+      $ time_limit_t $ strict_t)
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the complete test-vector suite.")
@@ -190,7 +220,7 @@ let campaign_cmd =
   let run name rows cols direct block no_leak trials seed max_faults =
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
-    let result = Pipeline.run ~config fpva in
+    let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let campaign_config =
       { Fpva_sim.Campaign.default_config with
@@ -235,7 +265,7 @@ let diagnose_cmd =
   let run name rows cols file direct block no_leak inject =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
-    let result = Pipeline.run ~config fpva in
+    let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let faults = Fpva_sim.Diagnosis.single_faults fpva in
     let dict =

@@ -15,7 +15,7 @@ open Fpva_sim
 
 let () =
   let fpva = Layouts.paper_array 10 in
-  let suite = Pipeline.run fpva in
+  let suite = Pipeline.run_exn fpva in
   Printf.printf "%s\n\n" (Report.summary suite);
 
   let universe = Diagnosis.single_faults fpva in

@@ -12,7 +12,7 @@ open Fpva_sim
 
 let () =
   let fpva = Layouts.paper_array 10 in
-  let suite = Pipeline.run fpva in
+  let suite = Pipeline.run_exn fpva in
   Printf.printf "%s\n\n" (Report.summary suite);
 
   (* Stuck-at classes, as in the paper. *)

@@ -18,7 +18,7 @@ let () =
     (2 * 20 * 19);
   print_endline (Render.plain fpva);
 
-  let suite = Pipeline.run ~config:Pipeline.direct_config fpva in
+  let suite = Pipeline.run_exn ~config:Pipeline.direct_config fpva in
   Printf.printf "\n%s\n" (Report.summary suite);
   assert (Pipeline.suite_ok suite);
 

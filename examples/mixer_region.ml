@@ -33,7 +33,7 @@ let () =
   Printf.printf "placements overlap (must not run concurrently): %b\n\n"
     (Device.overlaps tall wide);
 
-  let suite = Pipeline.run fpva in
+  let suite = Pipeline.run_exn fpva in
   Printf.printf "%s\n\n" (Report.summary suite);
 
   (* Certification: every pump and guard valve tested in both polarities. *)

@@ -17,7 +17,7 @@ let () =
 
   (* Generate the complete suite: flow paths (stuck-at-0 coverage),
      cut-sets (stuck-at-1 coverage) and control-leakage vectors. *)
-  let suite = Pipeline.run fpva in
+  let suite = Pipeline.run_exn fpva in
   Printf.printf "\n%s\n" (Report.summary suite);
   assert (Pipeline.suite_ok suite);
 

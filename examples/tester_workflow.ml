@@ -13,7 +13,7 @@ open Fpva_testgen
 let () =
   (* --- CAD side --- *)
   let fpva = Layouts.figure9 () in
-  let suite = Pipeline.run ~config:Pipeline.direct_config fpva in
+  let suite = Pipeline.run_exn ~config:Pipeline.direct_config fpva in
   Printf.printf "generated: %s\n" (Report.summary suite);
 
   let ordered = Sequencer.order fpva suite.Pipeline.vectors in

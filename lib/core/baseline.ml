@@ -14,9 +14,12 @@ let path_through engine fpva v =
   | Some e -> weight.(e) <- 1000.0
   | None -> ());
   let found =
-    match engine with
-    | Cover.Search _ -> Path_search.find ~params:small_params prob ~weight
-    | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts prob ~weight
+    let engine =
+      match engine with
+      | Cover.Search _ -> Cover.Search small_params
+      | (Cover.Ilp _ | Cover.Custom _) as e -> e
+    in
+    Cover.find_one engine prob ~weight
   in
   match found with
   | None -> None

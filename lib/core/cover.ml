@@ -1,17 +1,163 @@
+type single_path = Problem.t -> weight:float array -> Problem.path option
+
 type engine =
   | Search of Path_search.params
   | Ilp of Fpva_milp.Branch_bound.options
+  | Custom of custom
+
+and custom = { cname : string; find : single_path }
 
 let default_engine = Search Path_search.default_params
 
+let engine_name = function
+  | Search _ -> "search"
+  | Ilp _ -> "ilp"
+  | Custom c -> c.cname
+
 type outcome = { paths : Problem.path list; uncovered : int list }
 
-let find_one engine problem ~weight =
-  match engine with
-  | Search params -> Path_search.find ~params problem ~weight
-  | Ilp options -> Path_ilp.find ~bb_options:options problem ~weight
+type stats = {
+  mutable attempts : int;
+  mutable failures : int;
+  mutable rejected : int;
+  mutable fallbacks : int;
+  mutable budget_hits : int;
+}
 
-let run ?(engine = default_engine) ?(seeds = []) ?max_paths (p : Problem.t) =
+let fresh_stats () =
+  { attempts = 0; failures = 0; rejected = 0; fallbacks = 0; budget_hits = 0 }
+
+let default_salts = [ 17; 7919; 104729 ]
+
+let valid problem p =
+  match Problem.path_ok problem p with Ok () -> true | Error _ -> false
+
+(* Asynchronous/resource exceptions must escape; anything else from an
+   external engine is contained as a failed attempt. *)
+let guarded f =
+  try f () with
+  | (Stack_overflow | Out_of_memory | Sys.Break) as e -> raise e
+  | _ -> None
+
+let find_one engine problem ~weight =
+  let raw =
+    match engine with
+    | Search params -> Path_search.find ~params problem ~weight
+    | Ilp options -> Path_ilp.find ~bb_options:options problem ~weight
+    | Custom c -> guarded (fun () -> c.find problem ~weight)
+  in
+  match raw with Some p when valid problem p -> raw | Some _ | None -> None
+
+(* Classified primary attempt, for the fallback decision. *)
+let attempt ?(budget = Budget.unlimited) stats engine problem ~weight =
+  let bump f = match stats with Some s -> f s | None -> () in
+  bump (fun s -> s.attempts <- s.attempts + 1);
+  let audit = function
+    | Some p when valid problem p -> `Found p
+    | Some _ ->
+      bump (fun s -> s.rejected <- s.rejected + 1);
+      `Failed None
+    | None -> `Failed None
+  in
+  match engine with
+  | Search params -> audit (Path_search.find ~params problem ~weight)
+  | Custom c -> audit (guarded (fun () -> c.find problem ~weight))
+  | Ilp options -> (
+    let options = Budget.clamp_bb budget options in
+    match Path_ilp.find_status ~bb_options:options problem ~weight with
+    | Some p, Path_ilp.Proven when valid problem p -> `Found p
+    | Some p, Path_ilp.Truncated when valid problem p ->
+      (* usable incumbent, but the search fallback may beat it *)
+      `Failed (Some p)
+    | Some _, _ ->
+      bump (fun s -> s.rejected <- s.rejected + 1);
+      `Failed None
+    | None, _ -> `Failed None)
+
+let covered_weight problem ~weight p =
+  let seen = Array.make problem.Problem.num_edges false in
+  List.fold_left
+    (fun acc e ->
+      if seen.(e) then acc
+      else begin
+        seen.(e) <- true;
+        acc +. weight.(e)
+      end)
+    0.0 p.Problem.edges
+
+let find_robust ?(budget = Budget.unlimited) ?stats ?salts engine problem
+    ~weight =
+  let bump f = match stats with Some s -> f s | None -> () in
+  let salts =
+    match salts with
+    | Some s -> s
+    | None -> ( match engine with Search _ -> [] | Ilp _ | Custom _ -> default_salts)
+  in
+  if Budget.exhausted budget then begin
+    bump (fun s -> s.budget_hits <- s.budget_hits + 1);
+    None
+  end
+  else begin
+    match attempt ~budget stats engine problem ~weight with
+    | `Found p -> Some p
+    | `Failed incumbent ->
+      bump (fun s -> s.failures <- s.failures + 1);
+      (* Fallback chain: independently-seeded randomized searches.  The
+         base parameters come from the engine itself when it already is a
+         search (keeping its step budget), from the defaults otherwise. *)
+      let params =
+        match engine with
+        | Search p -> p
+        | Ilp _ | Custom _ -> Path_search.default_params
+      in
+      let best a b =
+        match (a, b) with
+        | None, x | x, None -> x
+        | Some p, Some q ->
+          if
+            covered_weight problem ~weight q
+            > covered_weight problem ~weight p
+          then Some q
+          else Some p
+      in
+      let recovered =
+        List.fold_left
+          (fun acc salt ->
+            if Budget.exhausted budget then begin
+              bump (fun s -> s.budget_hits <- s.budget_hits + 1);
+              acc
+            end
+            else begin
+              let found =
+                Path_search.find
+                  ~params:
+                    { params with
+                      Path_search.seed = params.Path_search.seed + salt }
+                  problem ~weight
+              in
+              match found with
+              | Some p when valid problem p -> best acc (Some p)
+              | Some _ | None -> acc
+            end)
+          None salts
+      in
+      (match recovered with
+      | Some _ -> bump (fun s -> s.fallbacks <- s.fallbacks + 1)
+      | None -> ());
+      best incumbent recovered
+  end
+
+let find_salted ?budget ?stats ~salt engine problem ~weight =
+  match engine with
+  | Search params ->
+    find_robust ?budget ?stats ~salts:[]
+      (Search { params with Path_search.seed = params.Path_search.seed + salt })
+      problem ~weight
+  | Ilp _ | Custom _ ->
+    find_robust ?budget ?stats ~salts:[ salt ] engine problem ~weight
+
+let run ?(engine = default_engine) ?(seeds = []) ?max_paths
+    ?(budget = Budget.unlimited) ?stats (p : Problem.t) =
   let limit =
     match max_paths with
     | Some k -> k
@@ -39,7 +185,7 @@ let run ?(engine = default_engine) ?(seeds = []) ?max_paths (p : Problem.t) =
         end)
     seeds;
   let rec loop k seed_salt =
-    if k >= limit || not (still_needed ()) then ()
+    if k >= limit || (not (still_needed ())) || Budget.exhausted budget then ()
     else begin
       let weight =
         Array.init p.Problem.num_edges (fun e -> if need.(e) then 1.0 else 0.0)
@@ -48,9 +194,9 @@ let run ?(engine = default_engine) ?(seeds = []) ?max_paths (p : Problem.t) =
       let engine =
         match engine with
         | Search params -> Search { params with Path_search.seed = params.Path_search.seed + seed_salt }
-        | Ilp _ as e -> e
+        | (Ilp _ | Custom _) as e -> e
       in
-      match find_one engine p ~weight with
+      match find_robust ~budget ?stats engine p ~weight with
       | None -> ()
       | Some path ->
         if gain path = 0 then
@@ -71,21 +217,25 @@ let run ?(engine = default_engine) ?(seeds = []) ?max_paths (p : Problem.t) =
      best-scoring path repeatedly misses them); point the engine at each
      leftover individually before declaring it uncoverable. *)
   let mop_up e =
-    if need.(e) && List.length !accepted < limit then begin
+    if need.(e) && List.length !accepted < limit && not (Budget.exhausted budget)
+    then begin
       let weight =
         Array.init p.Problem.num_edges (fun i ->
             if i = e then 1000.0 else if need.(i) then 1.0 else 0.0)
       in
       let attempt salt =
+        let salts =
+          match engine with Search _ -> [] | Ilp _ | Custom _ -> [ e + salt ]
+        in
         let engine =
           match engine with
           | Search params ->
             Search
               { Path_search.seed = params.Path_search.seed + e + salt;
                 step_budget = 2 * params.Path_search.step_budget }
-          | Ilp _ as eng -> eng
+          | (Ilp _ | Custom _) as eng -> eng
         in
-        match find_one engine p ~weight with
+        match find_robust ~budget ?stats ~salts engine p ~weight with
         | None -> false
         | Some path ->
           if List.mem e path.Problem.edges then begin

@@ -160,15 +160,11 @@ let minimize fpva ~drop_first cut =
   let valves = List.map (Fpva.edge_of_valve fpva) valve_ids in
   { valves; valve_ids; corners = cut.corners }
 
-let find_one engine prob ~weight ~salt =
-  match engine with
-  | Cover.Search params ->
-    Path_search.find
-      ~params:{ params with Path_search.seed = params.Path_search.seed + salt }
-      prob ~weight
-  | Cover.Ilp options -> Path_ilp.find ~bb_options:options prob ~weight
-
-let generate ?(engine = Cover.default_engine) ?anti_masking fpva =
+let generate ?(engine = Cover.default_engine) ?anti_masking
+    ?(budget = Budget.unlimited) ?stats fpva =
+  let find_one engine prob ~weight ~salt =
+    Cover.find_salted ~budget ?stats ~salt engine prob ~weight
+  in
   let specs = problems ?anti_masking fpva in
   let remaining = Array.make (Fpva.num_valves fpva) true in
   let cuts = ref [] in
@@ -187,7 +183,11 @@ let generate ?(engine = Cover.default_engine) ?anti_masking fpva =
          remaining valves.  The coverage loop tracks the {e minimized} cut,
          not the raw dual-path crossings: only essential valves detect. *)
       let rec loop salt stall =
-        if Array.exists (fun b -> b) remaining && stall < 3 then begin
+        if
+          Array.exists (fun b -> b) remaining
+          && stall < 3
+          && not (Budget.exhausted budget)
+        then begin
           let weight = weight_for spec in
           match find_one engine prob ~weight ~salt with
           | None -> ()
@@ -221,7 +221,7 @@ let generate ?(engine = Cover.default_engine) ?anti_masking fpva =
       if needed then begin
         let te = Fpva.edge_of_valve fpva vid in
         let try_spec (prob, mapping) =
-          if remaining.(vid) then begin
+          if remaining.(vid) && not (Budget.exhausted budget) then begin
             let weight = weight_for (prob, mapping) in
             Array.iteri
               (fun de e -> if e = te then weight.(de) <- 1000.0)

@@ -48,12 +48,16 @@ val minimize : Fpva.t -> drop_first:(int -> bool) -> t -> t
 val generate :
   ?engine:Cover.engine ->
   ?anti_masking:bool ->
+  ?budget:Budget.t ->
+  ?stats:Cover.stats ->
   Fpva.t ->
   t list * int list
 (** Cover all valves with irredundant cut-sets; returns cuts and the valve
     ids that are essential in no generated cut (to be handled by
     pierced-path vectors — see {!Test_vector.of_pierced_path}).  Every
-    returned cut is verified to separate sources from sinks. *)
+    returned cut is verified to separate sources from sinks.  Engine calls
+    go through {!Cover.find_salted} and respect [budget]; leftover valves on
+    early stop are reported uncovered, telemetry lands in [stats]. *)
 
 val is_valid : Fpva.t -> t -> bool
 (** Does closing the cut's valves disconnect all sinks from all sources? *)

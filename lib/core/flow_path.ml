@@ -456,7 +456,8 @@ let tested_valves fpva path =
 (* Generation absorbs only detection-verified valves (see tested_valves):
    a greedy covering loop followed by a per-valve targeted mop-up, both
    driving the engine with weights over the still-unverified valves. *)
-let generate ?(engine = Cover.default_engine) ?(use_seeds = true) fpva =
+let generate ?(engine = Cover.default_engine) ?(use_seeds = true)
+    ?(budget = Budget.unlimited) ?stats fpva =
   let prob, mapping = problem fpva in
   let nv = Fpva.num_valves fpva in
   let remaining = Array.make nv true in
@@ -499,13 +500,7 @@ let generate ?(engine = Cover.default_engine) ?(use_seeds = true) fpva =
     w
   in
   let find_with weight salt =
-    match engine with
-    | Cover.Search params ->
-      Path_search.find
-        ~params:
-          { params with Path_search.seed = params.Path_search.seed + salt }
-        prob ~weight
-    | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts prob ~weight
+    Cover.find_salted ~budget ?stats ~salt engine prob ~weight
   in
   (* Serpentine seeds first. *)
   if use_seeds then
@@ -517,7 +512,11 @@ let generate ?(engine = Cover.default_engine) ?(use_seeds = true) fpva =
       (serpentine_seeds fpva);
   (* Greedy loop. *)
   let rec loop salt stall =
-    if Array.exists (fun b -> b) remaining && stall < 3 then begin
+    if
+      Array.exists (fun b -> b) remaining
+      && stall < 3
+      && not (Budget.exhausted budget)
+    then begin
       match find_with (weight_for ()) salt with
       | None -> ()
       | Some p ->
@@ -531,7 +530,7 @@ let generate ?(engine = Cover.default_engine) ?(use_seeds = true) fpva =
     (fun v needed ->
       if needed then begin
         let try_salt salt =
-          if remaining.(v) then begin
+          if remaining.(v) && not (Budget.exhausted budget) then begin
             match find_with (weight_for ~focus:v ()) (v + salt) with
             | None -> ()
             | Some p ->

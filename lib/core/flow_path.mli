@@ -65,11 +65,19 @@ val serpentine_seeds : Fpva.t -> Problem.path list
     paper's Fig. 8(a).  Empty when obstacles/ports rule them out. *)
 
 val generate :
-  ?engine:Cover.engine -> ?use_seeds:bool -> Fpva.t -> t list * int list
+  ?engine:Cover.engine ->
+  ?use_seeds:bool ->
+  ?budget:Budget.t ->
+  ?stats:Cover.stats ->
+  Fpva.t ->
+  t list * int list
 (** [generate t] covers all valves with flow paths.  Returns the paths and
     the ids of valves that could not be covered (empty for any layout whose
     valves are all reachable — guaranteed after [Fpva.validate]).
-    [use_seeds] (default true) tries {!serpentine_seeds} first. *)
+    [use_seeds] (default true) tries {!serpentine_seeds} first.  All engine
+    calls go through {!Cover.find_salted}: they respect [budget] (loops stop
+    early, leaving the rest uncovered), fall back to randomized search on
+    solver failure, and record telemetry in [stats]. *)
 
 val minimum :
   ?bb_options:Fpva_milp.Branch_bound.options ->

@@ -190,7 +190,7 @@ type endpoint = Port_end of int | Cell_end of Coord.cell
 (* Build a local problem: nodes are the member cells of the current block,
    plus terminal extras (the entry port, exit ports, or the across-border
    cells of the next block). *)
-let segment options fpva ~need ~block ~entry ~exits =
+let segment ?budget ?stats options fpva ~need ~block ~entry ~exits =
   let member c = block_of_cell options c = block in
   let ids = Hashtbl.create 64 in
   let rev = Vec.create () in
@@ -295,14 +295,13 @@ let segment options fpva ~need ~block ~entry ~exits =
         { Path_search.default_params with
           Path_search.step_budget = options.segment_budget }
       in
-      let found =
+      let seg_engine =
         match options.engine with
         | Cover.Search base ->
-          Path_search.find
-            ~params:{ params with Path_search.seed = base.Path_search.seed }
-            prob ~weight
-        | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts prob ~weight
+          Cover.Search { params with Path_search.seed = base.Path_search.seed }
+        | (Cover.Ilp _ | Cover.Custom _) as e -> e
       in
+      let found = Cover.find_robust ?budget ?stats seg_engine prob ~weight in
       match found with
       | None -> None
       | Some path ->
@@ -314,7 +313,7 @@ let segment options fpva ~need ~block ~entry ~exits =
 
 (* ---------- Stitching ---------- *)
 
-let stitch_instance options fpva ~need (src, route, snk) =
+let stitch_instance ?budget ?stats options fpva ~need (src, route, snk) =
   (* Returns the full cell sequence (ports excluded) or None. *)
   let rec walk entry route acc =
     match route with
@@ -347,7 +346,7 @@ let stitch_instance options fpva ~need (src, route, snk) =
           !out
         | [] -> [ Port_end snk ]
       in
-      (match segment options fpva ~need ~block ~entry ~exits with
+      (match segment ?budget ?stats options fpva ~need ~block ~entry ~exits with
       | None -> None
       | Some keys ->
         let cells =
@@ -389,12 +388,13 @@ let stitch_instance options fpva ~need (src, route, snk) =
       if Flow_path.sound fpva path then Some path else None
     end
 
-let generate ?(options = default_options) fpva =
+let generate ?(options = default_options) ?(budget = Budget.unlimited) ?stats
+    fpva =
   let prob, mapping, _borders = top_problem options fpva in
   let top_paths =
     if Problem.num_required prob = 0 then bfs_routes options fpva
     else begin
-      let outcome = Cover.run ~engine:options.engine prob in
+      let outcome = Cover.run ~engine:options.engine ~budget ?stats prob in
       match outcome.Cover.paths with
       | [] -> bfs_routes options fpva
       | paths -> List.map (decode_top mapping) paths
@@ -414,13 +414,20 @@ let generate ?(options = default_options) fpva =
   in
   let instances = ref 0 in
   let rec rounds budget_left =
-    if budget_left > 0 && Array.exists (fun b -> b) need then begin
+    if
+      budget_left > 0
+      && Array.exists (fun b -> b) need
+      && not (Budget.exhausted budget)
+    then begin
       let progressed = ref false in
       List.iter
         (fun route ->
-          if Array.exists (fun b -> b) need && !instances < options.max_instances
+          if
+            Array.exists (fun b -> b) need
+            && !instances < options.max_instances
+            && not (Budget.exhausted budget)
           then
-            match stitch_instance options fpva ~need route with
+            match stitch_instance ~budget ?stats options fpva ~need route with
             | None -> ()
             | Some p ->
               incr instances;
@@ -453,16 +460,14 @@ let generate ?(options = default_options) fpva =
       w
     in
     let find_with weight salt =
-      match options.engine with
-      | Cover.Search params ->
-        Path_search.find
-          ~params:
-            { params with Path_search.seed = params.Path_search.seed + salt }
-          fprob ~weight
-      | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts fprob ~weight
+      Cover.find_salted ~budget ?stats ~salt options.engine fprob ~weight
     in
     let rec mop_up guard =
-      if guard > 0 && Array.exists (fun b -> b) need then begin
+      if
+        guard > 0
+        && Array.exists (fun b -> b) need
+        && not (Budget.exhausted budget)
+      then begin
         let weight = weight_for () in
         match find_with weight 0 with
         | None -> ()
@@ -489,7 +494,7 @@ let generate ?(options = default_options) fpva =
             (* pure focus: background weight drags the path through other
                leftovers where multi-source re-feeding untests the target *)
             let try_salt salt =
-              if need.(vid) then begin
+              if need.(vid) && not (Budget.exhausted budget) then begin
                 let weight = Array.make fprob.Problem.num_edges 0.0 in
                 weight.(e) <- 1000.0;
                 match find_with weight (vid + salt) with

@@ -36,7 +36,13 @@ type result = {
   uncovered : int list;  (** valve ids no path could reach *)
 }
 
-val generate : ?options:options -> Fpva.t -> result
+val generate :
+  ?options:options -> ?budget:Budget.t -> ?stats:Cover.stats -> Fpva.t -> result
+(** All engine access (top-level cover, per-segment searches, direct
+    fallback) goes through the resilient {!Cover} front end: [budget] stops
+    the rounds/mop-up loops early (leftover valves land in [uncovered]) and
+    [stats] accumulates attempt/fallback telemetry across every internal
+    engine call. *)
 
 val block_of_cell : options -> Coord.cell -> int * int
 (** Block coordinates [(bi, bj)] of a cell under the partition. *)

@@ -72,7 +72,7 @@ let residual_pairs fpva ~existing =
 (* One attempt: a flow path that must include victim [b] while aggressor [a]
    is removed from the graph (held closed).  Unit weights on the other
    residual victims make a single vector retire many pairs. *)
-let attempt engine fpva remaining (a, b) =
+let attempt ?budget ?stats engine fpva remaining (a, b) =
   let prob, mapping = Flow_path.problem ~forbidden_valves:[ a ] fpva in
   let weight = Array.make prob.Problem.num_edges 0.0 in
   let edge_id_of_valve vid =
@@ -87,29 +87,36 @@ let attempt engine fpva remaining (a, b) =
   (match edge_id_of_valve b with
   | Some e -> weight.(e) <- 1000.0
   | None -> ());
-  let found =
-    match engine with
-    | Cover.Search params -> Path_search.find ~params prob ~weight
-    | Cover.Ilp options -> Path_ilp.find ~bb_options:options prob ~weight
-  in
+  let found = Cover.find_robust ?budget ?stats engine prob ~weight in
   match found with
   | None -> None
   | Some p ->
     let path = Flow_path.of_problem_path fpva mapping p in
     if (tested_set fpva path).(b) then Some path else None
 
-let generate ?(engine = Cover.default_engine) ?pairs fpva ~existing =
+let generate ?(engine = Cover.default_engine) ?pairs
+    ?(budget = Budget.unlimited) ?stats fpva ~existing =
   let pairs =
     match pairs with Some ps -> ps | None -> adjacent_pairs fpva
   in
   let remaining = ref (residual_after fpva pairs existing) in
   let impossible = ref [] in
+  let unattempted = ref [] in
   let added = ref [] in
   let rec loop () =
     match !remaining with
     | [] -> ()
+    | _ when Budget.exhausted budget ->
+      (* Out of time: the rest of the residual pairs stay unattempted.  They
+         are reported alongside the unexercisable ones (after the incidental
+         recompute below) — conservatively "not exercised by this suite". *)
+      (match stats with
+      | Some s -> s.Cover.budget_hits <- s.Cover.budget_hits + 1
+      | None -> ());
+      unattempted := !remaining;
+      remaining := []
     | ((a, b) as pair) :: rest -> (
-      match attempt engine fpva !remaining pair with
+      match attempt ~budget ?stats engine fpva !remaining pair with
       | None ->
         impossible := pair :: !impossible;
         remaining := rest;
@@ -129,9 +136,15 @@ let generate ?(engine = Cover.default_engine) ?pairs fpva ~existing =
   (* A pair declared impossible earlier may have been exercised incidentally
      by a later path; the final verdict is recomputed over the whole set. *)
   let final_paths = existing @ List.rev !added in
+  (* Precompute the per-path sets once: doing it per (pair, path) re-derives
+     the observation set thousands of times on large arrays. *)
+  let sets =
+    List.map (fun p -> (on_path_set fpva p, tested_set fpva p)) final_paths
+  in
   let unexercisable =
     List.filter
-      (fun pr -> not (List.exists (fun p -> exercised_by fpva p pr) final_paths))
-      (List.rev !impossible)
+      (fun (a, b) ->
+        not (List.exists (fun (on, tested) -> tested.(b) && not on.(a)) sets))
+      (List.rev !impossible @ !unattempted)
   in
   (List.rev !added, unexercisable)

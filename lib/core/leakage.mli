@@ -33,6 +33,8 @@ val residual_pairs :
 val generate :
   ?engine:Cover.engine ->
   ?pairs:(int * int) array ->
+  ?budget:Budget.t ->
+  ?stats:Cover.stats ->
   Fpva.t ->
   existing:Flow_path.t list ->
   Flow_path.t list * (int * int) list
@@ -40,4 +42,7 @@ val generate :
     that cannot be exercised at all (victim unreachable once its aggressor
     is held closed).  [pairs] overrides the pair model (default
     {!adjacent_pairs}); use {!Fpva_grid.Control.leak_pairs} for a routed
-    control-layer architecture. *)
+    control-layer architecture.  Engine calls go through
+    {!Cover.find_robust}; when [budget] runs out, the not-yet-attempted
+    residual pairs are reported in the second component unless a generated
+    vector happens to exercise them. *)

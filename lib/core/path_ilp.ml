@@ -127,18 +127,31 @@ let single_path_lp ?loop_exclusion (p : Problem.t) ~weight =
   Lp.set_objective lp obj;
   lp
 
-let find ?bb_options ?loop_exclusion (p : Problem.t) ~weight =
+type status = Proven | Truncated | Infeasible_claimed | Failed
+
+let find_status ?bb_options ?loop_exclusion (p : Problem.t) ~weight =
   if Array.length weight <> p.Problem.num_edges then invalid_arg "Path_ilp.find";
   let lp = single_path_lp ?loop_exclusion p ~weight in
-  match Bb.solve ?options:bb_options lp with
-  | Bb.Optimal sol | Bb.Feasible sol ->
+  let decode_sol (sol : Fpva_milp.Simplex.solution) =
     let used = Array.init p.Problem.num_edges (fun e -> sol.values.(e) > 0.5) in
     let node_on =
       Array.init p.Problem.num_nodes (fun n ->
           sol.values.(p.Problem.num_edges + n) > 0.5)
     in
     decode p used node_on
-  | Bb.Infeasible | Bb.Unbounded | Bb.Unknown -> None
+  in
+  match Bb.solve ?options:bb_options lp with
+  | Bb.Optimal sol -> (
+    match decode_sol sol with
+    | Some path -> (Some path, Proven)
+    | None -> (None, Failed))
+  | Bb.Feasible sol -> (decode_sol sol, Truncated)
+  | Bb.Unknown -> (None, Truncated)
+  | Bb.Infeasible -> (None, Infeasible_claimed)
+  | Bb.Unbounded -> (None, Failed)
+
+let find ?bb_options ?loop_exclusion (p : Problem.t) ~weight =
+  fst (find_status ?bb_options ?loop_exclusion p ~weight)
 
 let minimum_cover ?bb_options (p : Problem.t) ~max_paths =
   if max_paths < 1 then invalid_arg "Path_ilp.minimum_cover";

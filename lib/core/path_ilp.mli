@@ -43,6 +43,28 @@ val find :
     single simple path (possible only with [loop_exclusion:false]), or the
     branch-and-bound budget ran out without an incumbent. *)
 
+type status =
+  | Proven  (** solver proved optimality and the solution decoded *)
+  | Truncated
+      (** a solver budget ([time_limit]/[max_nodes]) was hit; the returned
+          path, if any, is a valid but possibly sub-optimal incumbent *)
+  | Infeasible_claimed
+      (** the solver reports that no admissible path exists *)
+  | Failed
+      (** the model was unbounded or an optimal solution failed to decode —
+          only reachable through misuse ([loop_exclusion:false]) or a buggy
+          solver, but callers must stay sound when it happens *)
+
+val find_status :
+  ?bb_options:Fpva_milp.Branch_bound.options ->
+  ?loop_exclusion:bool ->
+  Problem.t ->
+  weight:float array ->
+  Problem.path option * status
+(** Like {!find} but distinguishing {e why} no (optimal) path was produced,
+    so callers can trigger the search-engine fallback chain on truncation or
+    doubt a spurious infeasibility claim (see {!Cover.find_robust}). *)
+
 val minimum_cover :
   ?bb_options:Fpva_milp.Branch_bound.options ->
   Problem.t ->

@@ -26,6 +26,17 @@ let default_config =
 
 let direct_config = { default_config with hierarchical = false }
 
+type stage_status = Exact | Fell_back_to_search | Partial of string
+
+type stage_report = {
+  stage : string;
+  status : stage_status;
+  seconds : float;
+  allotted : float;
+  fallbacks : int;
+  failures : int;
+}
+
 type t = {
   fpva : Fpva.t;
   flow : Flow_path.t list;
@@ -44,12 +55,59 @@ type t = {
   uncovered_flow : int list;
   uncovered_cut : int list;
   untestable_pairs : (int * int) list;
+  degradation : stage_report list;
 }
 
-let run ?(config = default_config) fpva =
-  (match Fpva.validate fpva with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Pipeline.run: " ^ msg));
+(* Per-stage verdict from the Cover telemetry.  [trusted_engine] is true for
+   the randomized search: its "no path" answers on leftover items are the
+   normal outcome for genuinely untestable valves/pairs, not a degradation.
+   An ILP/custom engine that failed while items stayed uncovered is flagged
+   Partial — its failures may hide testable items. *)
+let stage_report ~trusted_engine name stage_budget (stats : Cover.stats)
+    seconds leftover =
+  let status =
+    if
+      leftover > 0
+      && (Budget.exhausted stage_budget || stats.Cover.budget_hits > 0)
+    then
+      Partial
+        (Printf.sprintf "budget exhausted with %d item(s) left uncovered"
+           leftover)
+    else if stats.Cover.fallbacks > 0 then Fell_back_to_search
+    else if leftover > 0 && (not trusted_engine) && stats.Cover.failures > 0
+    then
+      Partial
+        (Printf.sprintf
+           "engine failed %d time(s) with %d item(s) left uncovered"
+           stats.Cover.failures leftover)
+    else Exact
+  in
+  {
+    stage = name;
+    status;
+    seconds;
+    allotted = Budget.allotted stage_budget;
+    fallbacks = stats.Cover.fallbacks;
+    failures = stats.Cover.failures;
+  }
+
+let rec run ?(config = default_config) ?(budget = Budget.unlimited) fpva =
+  match Fpva.validate fpva with
+  | Error msg -> Error msg
+  | Ok () -> Ok (run_validated config budget fpva)
+
+and run_validated config budget fpva =
+  let trusted_engine =
+    match config.engine with
+    | Cover.Search _ -> true
+    | Cover.Ilp _ | Cover.Custom _ -> false
+  in
+  (* Stage shares of the remaining wall clock: flow paths get half, cut-sets
+     (with their pierced probes) 60% of the rest, leakage the remainder.
+     Earlier stages finishing early automatically roll their slack forward
+     because shares are taken from the remaining time at stage start. *)
+  let flow_budget = Budget.share budget 0.5 in
+  let flow_stats = Cover.fresh_stats () in
   let (flow, uncovered_flow), tp =
     Timer.time (fun () ->
         if config.hierarchical then begin
@@ -59,18 +117,28 @@ let run ?(config = default_config) fpva =
               block_cols = config.block_cols;
               engine = config.engine }
           in
-          let r = Hierarchy.generate ~options fpva in
+          let r =
+            Hierarchy.generate ~options ~budget:flow_budget ~stats:flow_stats
+              fpva
+          in
           (r.Hierarchy.paths, r.Hierarchy.uncovered)
         end
         else
           Flow_path.generate ~engine:config.engine ~use_seeds:config.use_seeds
-            fpva)
+            ~budget:flow_budget ~stats:flow_stats fpva)
   in
+  let flow_report =
+    stage_report ~trusted_engine "flow" flow_budget flow_stats tp
+      (List.length uncovered_flow)
+  in
+  let cut_budget = Budget.share budget 0.6 in
+  let cut_stats = Cover.fresh_stats () in
   let (cuts, pierced, uncovered_cut), tc =
     Timer.time (fun () ->
         let cuts, leftover =
           Cut_set.generate ~engine:config.engine
-            ~anti_masking:config.anti_masking fpva
+            ~anti_masking:config.anti_masking ~budget:cut_budget
+            ~stats:cut_stats fpva
         in
         (* Valves essential in no cut get a targeted pierced-path probe.
            The probe is only sound if closing the valve actually darkens the
@@ -94,14 +162,8 @@ let run ?(config = default_config) fpva =
             let weight = Array.make prob.Problem.num_edges 0.0 in
             weight.(e) <- 1000.0;
             let found =
-              match config.engine with
-              | Cover.Search params ->
-                Path_search.find
-                  ~params:
-                    { params with
-                      Path_search.seed = params.Path_search.seed + salt }
-                  prob ~weight
-              | Cover.Ilp opts -> Path_ilp.find ~bb_options:opts prob ~weight
+              Cover.find_salted ~budget:cut_budget ~stats:cut_stats ~salt
+                config.engine prob ~weight
             in
             (match found with
             | Some pp ->
@@ -131,13 +193,23 @@ let run ?(config = default_config) fpva =
         in
         (cuts, pierced, still))
   in
+  let cut_report =
+    stage_report ~trusted_engine "cut" cut_budget cut_stats tc
+      (List.length uncovered_cut)
+  in
+  let leak_budget = Budget.share budget 1.0 in
+  let leak_stats = Cover.fresh_stats () in
   let (leak, untestable_pairs), tl =
     Timer.time (fun () ->
         if config.include_leakage then
           Leakage.generate ~engine:config.engine
             ~pairs:(Control.leak_pairs fpva config.leak_routing)
-            fpva ~existing:flow
+            ~budget:leak_budget ~stats:leak_stats fpva ~existing:flow
         else ([], []))
+  in
+  let leak_report =
+    stage_report ~trusted_engine "leak" leak_budget leak_stats tl
+      (List.length untestable_pairs)
   in
   let vectors =
     List.mapi
@@ -180,7 +252,16 @@ let run ?(config = default_config) fpva =
     uncovered_flow;
     uncovered_cut;
     untestable_pairs;
+    degradation = [ flow_report; cut_report; leak_report ];
   }
+
+let run_exn ?config ?budget fpva =
+  match run ?config ?budget fpva with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Pipeline.run: " ^ msg)
+
+let degraded t =
+  List.exists (fun r -> r.status <> Exact) t.degradation
 
 let stuck_at_1_covered t =
   let seen = Array.make (Fpva.num_valves t.fpva) false in

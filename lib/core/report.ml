@@ -35,6 +35,27 @@ let render_flow_paths fpva paths =
 let render_cut fpva cut =
   Render.custom ~edge_marks:(Render.cut_marks cut.Cut_set.valves) fpva
 
+let degradation_summary (r : Pipeline.t) =
+  let line (s : Pipeline.stage_report) =
+    let status =
+      match s.Pipeline.status with
+      | Pipeline.Exact -> "exact"
+      | Pipeline.Fell_back_to_search ->
+        Printf.sprintf "fell back to search (%d path(s) recovered, %d engine failure(s))"
+          s.Pipeline.fallbacks s.Pipeline.failures
+      | Pipeline.Partial reason -> "partial: " ^ reason
+    in
+    let spent =
+      if s.Pipeline.allotted = infinity then
+        Printf.sprintf "%.2fs of unlimited" s.Pipeline.seconds
+      else
+        Printf.sprintf "%.2fs of %.2fs" s.Pipeline.seconds s.Pipeline.allotted
+    in
+    Printf.sprintf "  %-5s %s — %s" s.Pipeline.stage spent status
+  in
+  String.concat "\n"
+    ("degradation:" :: List.map line r.Pipeline.degradation)
+
 let summary (r : Pipeline.t) =
   let nv = Fpva.num_valves r.Pipeline.fpva in
   Printf.sprintf

@@ -20,3 +20,8 @@ val render_cut : Fpva.t -> Cut_set.t -> string
 
 val summary : Pipeline.t -> string
 (** One-paragraph text summary of a generated suite. *)
+
+val degradation_summary : Pipeline.t -> string
+(** Multi-line per-stage report: budget consumption (seconds used of the
+    stage's share) and status — exact, fell back to search, or partial with
+    the reason. *)

@@ -3,12 +3,13 @@ type options = {
   time_limit : float;
   integrality_eps : float;
   presolve : bool;
+  lp_iteration_limit : int option;
   log : (string -> unit) option;
 }
 
 let default_options =
   { max_nodes = 200_000; time_limit = infinity; integrality_eps = 1e-6;
-    presolve = true; log = None }
+    presolve = true; lp_iteration_limit = None; log = None }
 
 type outcome =
   | Optimal of Simplex.solution
@@ -104,8 +105,8 @@ let solve ?(options = default_options) lp =
       else begin
         incr nodes;
         (match
-           Simplex.solve ~lower_override:node.lower ~upper_override:node.upper
-             lp
+           Simplex.solve ?max_iters:options.lp_iteration_limit
+             ~lower_override:node.lower ~upper_override:node.upper lp
          with
         | Simplex.Infeasible -> ()
         | Simplex.Iteration_limit ->

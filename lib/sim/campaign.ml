@@ -16,6 +16,8 @@ type row = {
   trials : int;
   detected : int;
   escapes : Fault.t list list;
+  short_draws : int;
+  void_draws : int;
   mean_latency : float;
 }
 
@@ -29,6 +31,7 @@ let draw_faults rng fpva ~classes ~count =
     List.for_all (function `Stuck_at_0 | `Stuck_at_1 -> true | `Control_leak -> false) classes
   in
   if stuck_only then Fault.random_multi rng fpva ~count
+  else if Fault.feasible_classes fpva classes = [] then []
   else begin
     let used = Hashtbl.create 8 in
     let rec draw acc k guard =
@@ -55,6 +58,8 @@ let run ?(config = default_config) fpva ~vectors =
         let detected = ref 0 in
         let escapes = ref [] in
         let latency_sum = ref 0 in
+        let short_draws = ref 0 in
+        let void_draws = ref 0 in
         let first_detect_index faults =
           let rec scan i = function
             | [] -> None
@@ -68,30 +73,46 @@ let run ?(config = default_config) fpva ~vectors =
           let faults =
             draw_faults rng fpva ~classes:config.classes ~count:fault_count
           in
-          match first_detect_index faults with
-          | Some i ->
-            incr detected;
-            latency_sum := !latency_sum + i
-          | None -> escapes := faults :: !escapes
+          (* The rejection sampler can come up short (or empty) when the
+             layout cannot host [fault_count] disjoint faults.  Record the
+             shortfall instead of scoring phantom faults: an empty draw is
+             neither a detection nor an escape, and the reported rates say
+             how many trials were affected. *)
+          if List.length faults < fault_count then incr short_draws;
+          if faults = [] then incr void_draws
+          else
+            match first_detect_index faults with
+            | Some i ->
+              incr detected;
+              latency_sum := !latency_sum + i
+            | None -> escapes := faults :: !escapes
         done;
         let mean_latency =
           if !detected = 0 then nan
           else float_of_int !latency_sum /. float_of_int !detected
         in
         { fault_count; trials = config.trials; detected = !detected;
-          escapes = List.rev !escapes; mean_latency })
+          escapes = List.rev !escapes; short_draws = !short_draws;
+          void_draws = !void_draws; mean_latency })
       config.fault_counts
   in
   { rows; wall_seconds = Fpva_util.Timer.now () -. t0 }
 
-let detection_rate row = Fpva_util.Stats.ratio row.detected row.trials
+let effective_trials row = row.trials - row.void_draws
+
+let detection_rate row =
+  Fpva_util.Stats.ratio row.detected (effective_trials row)
 
 let pp_result ppf r =
   List.iter
     (fun row ->
       Format.fprintf ppf
-        "faults=%d detected=%d/%d (%.4f), mean first-detect vector %.1f@."
-        row.fault_count row.detected row.trials (detection_rate row)
-        row.mean_latency)
+        "faults=%d detected=%d/%d (%.4f), mean first-detect vector %.1f"
+        row.fault_count row.detected (effective_trials row)
+        (detection_rate row) row.mean_latency;
+      if row.short_draws > 0 then
+        Format.fprintf ppf " [%d short draw(s), %d empty]" row.short_draws
+          row.void_draws;
+      Format.fprintf ppf "@.")
     r.rows;
   Format.fprintf ppf "wall=%.1fs@." r.wall_seconds

@@ -24,10 +24,20 @@ val default_config : config
 (** 10 000 trials, counts 1–5, stuck-at classes, seed 42. *)
 
 type row = {
-  fault_count : int;
+  fault_count : int;  (** faults {e requested} per trial *)
   trials : int;
   detected : int;
   escapes : Fault.t list list;  (** the undetected fault sets, if any *)
+  short_draws : int;
+      (** trials where the rejection sampler injected fewer than
+          [fault_count] faults (layout too small for that many disjoint
+          faults) — those trials still ran against the faults actually
+          drawn *)
+  void_draws : int;
+      (** trials where {e no} fault could be drawn at all; excluded from
+          both [detected] and [escapes] (and from {!detection_rate}'s
+          denominator), so rates are never computed against phantom
+          faults *)
   mean_latency : float;
       (** average 1-based index of the first detecting vector over the
           detected trials (how far into the session the tester learns the
@@ -45,6 +55,10 @@ val run :
   vectors:Fpva_testgen.Test_vector.t list ->
   result
 
+val effective_trials : row -> int
+(** [trials - void_draws]: the trials that actually injected something. *)
+
 val detection_rate : row -> float
+(** [detected / effective_trials] ([0.] when no trial injected anything). *)
 
 val pp_result : Format.formatter -> result -> unit

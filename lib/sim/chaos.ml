@@ -1,0 +1,87 @@
+module Cover = Fpva_testgen.Cover
+module Problem = Fpva_testgen.Problem
+
+type fault =
+  | Deadline_exhaustion
+  | Spurious_infeasible of int
+  | Garbage_incumbent
+  | Transient_failure of int
+
+exception Injected_failure
+
+type monitor = { mutable calls : int; mutable injected : int }
+
+let monitor () = { calls = 0; injected = 0 }
+
+let fault_name = function
+  | Deadline_exhaustion -> "deadline-exhaustion"
+  | Spurious_infeasible k -> Printf.sprintf "spurious-infeasible-%d" k
+  | Garbage_incumbent -> "garbage-incumbent"
+  | Transient_failure n -> Printf.sprintf "transient-failure-%d" n
+
+(* Break a valid path so that [Problem.path_ok] must reject it.  Several
+   corruption shapes (cycled per injection) so the audit is exercised on
+   more than one inconsistency; each shape is skipped when the path is too
+   short for it to actually invalidate anything. *)
+let corrupt ~mode (p : Problem.path) =
+  let drop_last_edge () =
+    match List.rev p.Problem.edges with
+    | _ :: rest -> Some { p with Problem.edges = List.rev rest }
+    | [] -> None
+  in
+  let dup_first_node () =
+    match p.Problem.nodes with
+    | n :: rest -> Some { p with Problem.nodes = n :: n :: rest }
+    | [] -> None
+  in
+  let rotate_edges () =
+    (* needs at least two edges: rotating one edge is the identity *)
+    match p.Problem.edges with
+    | e :: (_ :: _ as rest) -> Some { p with Problem.edges = rest @ [ e ] }
+    | _ -> None
+  in
+  let order =
+    match mode mod 3 with
+    | 0 -> [ drop_last_edge; dup_first_node; rotate_edges ]
+    | 1 -> [ dup_first_node; rotate_edges; drop_last_edge ]
+    | _ -> [ rotate_edges; drop_last_edge; dup_first_node ]
+  in
+  match List.find_map (fun f -> f ()) order with
+  | Some q -> q
+  | None -> { Problem.nodes = []; edges = [] }
+
+let wrap ?monitor:m fault base =
+  let m = match m with Some m -> m | None -> monitor () in
+  let base_find problem ~weight = Cover.find_one base problem ~weight in
+  let find problem ~weight =
+    m.calls <- m.calls + 1;
+    match fault with
+    | Deadline_exhaustion ->
+      m.injected <- m.injected + 1;
+      None
+    | Spurious_infeasible k ->
+      if (m.calls - 1) mod max 1 k = 0 then begin
+        m.injected <- m.injected + 1;
+        None
+      end
+      else base_find problem ~weight
+    | Garbage_incumbent -> (
+      match base_find problem ~weight with
+      | None -> None
+      | Some p ->
+        m.injected <- m.injected + 1;
+        Some (corrupt ~mode:m.injected p))
+    | Transient_failure n ->
+      if m.calls <= n then begin
+        m.injected <- m.injected + 1;
+        raise Injected_failure
+      end
+      else base_find problem ~weight
+  in
+  Cover.Custom
+    {
+      Cover.cname =
+        Printf.sprintf "chaos:%s(%s)" (fault_name fault)
+          (Cover.engine_name base);
+      find;
+    }

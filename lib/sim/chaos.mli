@@ -1,0 +1,53 @@
+(** Solver fault injection — chaos testing for the generation pipeline.
+
+    Wraps any {!Fpva_testgen.Cover.engine} in a misbehaving proxy so the
+    resilience machinery ({!Fpva_testgen.Cover.find_robust} fallbacks,
+    {!Fpva_testgen.Budget} accounting, {!Fpva_testgen.Pipeline} degradation
+    reports) can be exercised deterministically in tests.  The injected
+    behaviours mirror how a real MILP backend fails in production: it burns
+    its deadline and returns nothing, it reports infeasibility spuriously
+    under a node cap, it returns a garbage incumbent after truncation, or
+    it crashes transiently (licence hiccup, OOM kill) for the first few
+    calls.
+
+    The wrapper is a pure {!Fpva_testgen.Cover.Custom} engine: no global
+    state beyond the per-wrapper {!monitor}, so independent tests do not
+    interfere. *)
+
+type fault =
+  | Deadline_exhaustion
+      (** every call consumes its budget and produces nothing — models a
+          solver that hits [time_limit] with no incumbent *)
+  | Spurious_infeasible of int
+      (** every [k]-th call (1-based; [k <= 1] means every call) returns
+          "no path" even when one exists — models an aggressive node cap
+          making branch-and-bound declare infeasibility wrongly *)
+  | Garbage_incumbent
+      (** every returned path is corrupted (an edge dropped, a node
+          duplicated, or the edges rotated) before delivery — models a
+          truncated solve handing back an inconsistent incumbent; the
+          [Problem.path_ok] audit in [Cover] must catch every one *)
+  | Transient_failure of int
+      (** the first [n] calls raise {!Injected_failure}; later calls pass
+          through — models a backend that needs warm-up or recovers after
+          restart *)
+
+exception Injected_failure
+(** Raised by [Transient_failure] wrappers (and contained by
+    [Cover.find_one]'s exception guard). *)
+
+type monitor = {
+  mutable calls : int;  (** engine invocations seen by the wrapper *)
+  mutable injected : int;  (** invocations where the fault actually fired *)
+}
+
+val monitor : unit -> monitor
+
+val wrap :
+  ?monitor:monitor -> fault -> Fpva_testgen.Cover.engine ->
+  Fpva_testgen.Cover.engine
+(** [wrap fault base] is a [Custom] engine that consults [base] (via the
+    audited [Cover.find_one]) and then injects [fault].  [monitor] counts
+    calls and injections so tests can assert the fault actually fired. *)
+
+val fault_name : fault -> string

@@ -58,22 +58,33 @@ let adjacent_pairs fpva =
   done;
   Array.of_list !out
 
+let feasible_classes fpva classes =
+  let nv = Fpva.num_valves fpva in
+  let has_pairs = lazy (Array.length (adjacent_pairs fpva) > 0) in
+  List.filter
+    (function
+      | `Stuck_at_0 | `Stuck_at_1 -> nv > 0
+      | `Control_leak -> Lazy.force has_pairs)
+    classes
+
 let random_of_classes rng fpva ~classes =
   match classes with
   | [] -> invalid_arg "Fault.random_of_classes: empty class list"
   | _ :: _ -> (
-    let cls = List.nth classes (Rng.int rng (List.length classes)) in
-    let nv = Fpva.num_valves fpva in
-    match cls with
-    | `Stuck_at_0 -> Stuck_at_0 (Rng.int rng nv)
-    | `Stuck_at_1 -> Stuck_at_1 (Rng.int rng nv)
-    | `Control_leak ->
-      let pairs = adjacent_pairs fpva in
-      if Array.length pairs = 0 then Stuck_at_0 (Rng.int rng nv)
-      else begin
-        let a, b = Rng.pick rng pairs in
-        Control_leak (a, b)
-      end)
+    (* Draw among the classes this layout can instantiate: substituting a
+       different class than requested would silently skew campaign
+       statistics (a "Control_leak" draw must never yield a Stuck_at_0). *)
+    match feasible_classes fpva classes with
+    | [] -> invalid_arg "Fault.random_of_classes: no feasible class"
+    | feasible -> (
+      let cls = List.nth feasible (Rng.int rng (List.length feasible)) in
+      let nv = Fpva.num_valves fpva in
+      match cls with
+      | `Stuck_at_0 -> Stuck_at_0 (Rng.int rng nv)
+      | `Stuck_at_1 -> Stuck_at_1 (Rng.int rng nv)
+      | `Control_leak ->
+        let a, b = Rng.pick rng (adjacent_pairs fpva) in
+        Control_leak (a, b)))
 
 let random_multi rng fpva ~count =
   let nv = Fpva.num_valves fpva in

@@ -32,14 +32,26 @@ val random : Fpva_util.Rng.t -> Fpva.t -> t
 (** A uniformly random fault: polarity fair coin over stuck-at faults; use
     {!random_of_classes} to include control leaks. *)
 
+val feasible_classes :
+  Fpva.t ->
+  [ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list ->
+  [ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list
+(** The subset of [classes] this layout can instantiate: stuck-at classes
+    need at least one valve, [`Control_leak] at least one adjacent valve
+    pair (order preserved, duplicates kept). *)
+
 val random_of_classes :
   Fpva_util.Rng.t ->
   Fpva.t ->
   classes:[ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list ->
   t
-(** Random fault drawn from the given classes (class first, then instance).
+(** Random fault drawn from the {e feasible} subset of the given classes
+    (class first, then instance) — an infeasible class (e.g.
+    [`Control_leak] on a layout with no adjacent valve pair) is excluded
+    from the draw rather than silently substituted with a stuck-at fault.
     [Control_leak] instances are drawn over adjacent valve pairs.
-    @raise Invalid_argument if [classes] is empty. *)
+    @raise Invalid_argument if [classes] is empty or none of them is
+    feasible. *)
 
 val random_multi : Fpva_util.Rng.t -> Fpva.t -> count:int -> t list
 (** [count] distinct random stuck-at faults at distinct valves — matching

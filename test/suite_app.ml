@@ -119,7 +119,7 @@ let device_tests =
     case "certified succeeds on a full suite and fails on an empty one"
       (fun () ->
         let t = chip () in
-        let suite = Fpva_testgen.Pipeline.run t in
+        let suite = Fpva_testgen.Pipeline.run_exn t in
         (match Device.certified t suite.Fpva_testgen.Pipeline.vectors tall with
         | Ok () -> ()
         | Error msg -> Alcotest.failf "full suite should certify: %s" msg);

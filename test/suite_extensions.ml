@@ -10,7 +10,7 @@ open Fpva_sim
 let diag_fixture =
   lazy
     (let t = Layouts.paper_array 5 in
-     let suite = Pipeline.run t in
+     let suite = Pipeline.run_exn t in
      let faults = Diagnosis.single_faults t in
      let dict = Diagnosis.build t ~vectors:suite.Pipeline.vectors ~faults in
      (t, suite, faults, dict))
@@ -101,7 +101,7 @@ let sequencer_tests =
   [
     case "order is a permutation" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let ordered = Sequencer.order t suite.Pipeline.vectors in
         checki "same size" (List.length suite.Pipeline.vectors)
           (List.length ordered);
@@ -110,21 +110,21 @@ let sequencer_tests =
           ordered);
     case "never increases switching cost" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let before, after = Sequencer.improvement t suite.Pipeline.vectors in
         checkb
           (Printf.sprintf "after (%d) <= before (%d)" after before)
           true (after <= before));
     case "reduces cost on the paper suites" (fun () ->
         let t = Layouts.paper_array 10 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let before, after = Sequencer.improvement t suite.Pipeline.vectors in
         checkb
           (Printf.sprintf "strict improvement (%d -> %d)" before after)
           true (after < before));
     case "switching_cost counts the lead-in" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         match suite.Pipeline.vectors with
         | v :: _ ->
           checki "single vector" (Test_vector.open_count v)
@@ -136,7 +136,7 @@ let sequencer_tests =
         checkb "empty order" true (Sequencer.order t [] = []));
     case "detection is order-independent" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let ordered = Sequencer.order t suite.Pipeline.vectors in
         for v = 0 to Fpva.num_valves t - 1 do
           checkb "sa0 still caught" true

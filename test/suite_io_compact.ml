@@ -12,7 +12,7 @@ let io_tests =
   [
     case "round-trips a full pipeline suite" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let text = Suite_io.to_string t suite.Pipeline.vectors in
         match Suite_io.of_string t text with
         | Ok vectors ->
@@ -29,7 +29,7 @@ let io_tests =
         | Error msg -> Alcotest.failf "parse failed: %s" msg);
     case "round-trip preserves detection behaviour" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let text = Suite_io.to_string t suite.Pipeline.vectors in
         match Suite_io.of_string t text with
         | Ok vectors ->
@@ -45,7 +45,7 @@ let io_tests =
     case "rejects a suite for the wrong architecture" (fun () ->
         let t5 = Layouts.paper_array 5 in
         let t10 = Layouts.paper_array 10 in
-        let suite = Pipeline.run t5 in
+        let suite = Pipeline.run_exn t5 in
         let text = Suite_io.to_string t5 suite.Pipeline.vectors in
         checkb "rejected" true
           (match Suite_io.of_string t10 text with
@@ -53,7 +53,7 @@ let io_tests =
           | Ok _ -> false));
     case "rejects tampered states" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let text = Suite_io.to_string t suite.Pipeline.vectors in
         (* flip the first states bit *)
         let idx =
@@ -83,7 +83,7 @@ let io_tests =
           [ ""; "nonsense"; "fpva-suite 2\n" ]);
     case "comments and blank lines are tolerated" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let text = Suite_io.to_string t suite.Pipeline.vectors in
         let commented = "# generated suite\n\n" ^ text in
         checkb "accepted" true
@@ -92,7 +92,7 @@ let io_tests =
           | Error _ -> false));
     case "file round trip" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let path = Filename.temp_file "fpva" ".suite" in
         Fun.protect
           ~finally:(fun () -> Sys.remove path)
@@ -111,7 +111,7 @@ let compaction_tests =
   [
     case "compaction preserves single-fault coverage" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let compacted, missed = Compaction.compact t suite.Pipeline.vectors in
         checkb "nothing missed" true (missed = []);
         for v = 0 to Fpva.num_valves t - 1 do
@@ -124,7 +124,7 @@ let compaction_tests =
         done);
     case "compaction shrinks a redundant suite" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         (* duplicate the suite: half must go *)
         let doubled = suite.Pipeline.vectors @ suite.Pipeline.vectors in
         let compacted, _ = Compaction.compact t doubled in
@@ -132,7 +132,7 @@ let compaction_tests =
           (List.length compacted <= List.length suite.Pipeline.vectors));
     case "compacted suite is irredundant" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let compacted, _ = Compaction.compact t suite.Pipeline.vectors in
         let faults = Diagnosis.single_faults t in
         let full_matrix v = Compaction.detects_matrix t ~vectors:v ~faults in
@@ -149,7 +149,7 @@ let compaction_tests =
           compacted);
     case "compaction keeps order" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let compacted, _ = Compaction.compact t suite.Pipeline.vectors in
         (* compacted is a subsequence of the original *)
         let rec subseq xs ys =
@@ -161,7 +161,7 @@ let compaction_tests =
         checkb "subsequence" true (subseq compacted suite.Pipeline.vectors));
     case "ratio arithmetic" (fun () ->
         let t = Layouts.paper_array 5 in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let compacted, _ = Compaction.compact t suite.Pipeline.vectors in
         let r = Compaction.compaction_ratio suite.Pipeline.vectors compacted in
         checkb "0 < r <= 1" true (r > 0.0 && r <= 1.0));
@@ -189,11 +189,11 @@ let multiport_tests =
         checkb "at least one" true (List.length specs >= 1));
     case "pipeline covers a multi-port chip" (fun () ->
         let t = multiport_layout () in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         checkb "ok" true (Pipeline.suite_ok suite));
     case "every single fault detected on the multi-port chip" (fun () ->
         let t = multiport_layout () in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         for v = 0 to Fpva.num_valves t - 1 do
           checkb "sa0" true
             (Simulator.detected_by_suite t ~faults:[ Fault.Stuck_at_0 v ]
@@ -204,7 +204,7 @@ let multiport_tests =
         done);
     case "paths may use either source and either sink" (fun () ->
         let t = multiport_layout () in
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let ports = Fpva.ports t in
         List.iter
           (fun p ->

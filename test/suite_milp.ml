@@ -340,6 +340,95 @@ let bb_tests =
         | Bb.Optimal s -> Lp.check_feasible lp s.Simplex.values
         | Bb.Infeasible -> true
         | Bb.Feasible _ | Bb.Unknown | Bb.Unbounded -> false);
+    case "zero node budget yields Unknown" (fun () ->
+        (* No node may be explored, so there can be no incumbent and no
+           proof: the only sound answer is Unknown. *)
+        let lp = Lp.create Lp.Maximize in
+        let a = Lp.add_var lp Lp.Binary in
+        let b = Lp.add_var lp Lp.Binary in
+        Lp.add_constr lp [ (2.0, a); (3.0, b) ] Lp.Le 4.0;
+        Lp.set_objective lp [ (5.0, a); (4.0, b) ];
+        let options =
+          { Bb.default_options with Bb.max_nodes = 0; presolve = false }
+        in
+        checkb "unknown" true (Bb.solve ~options lp = Bb.Unknown));
+    case "truncation with incumbent yields Feasible, not Optimal" (fun () ->
+        (* max x+y st x+y <= 1.2 over binaries: the root LP is fractional,
+           the rounding heuristic lands on the true optimum (1.0), and the
+           1-node budget truncates before the children close the proof.
+           Claiming Optimal here would be a lie the solver cannot back. *)
+        let lp = Lp.create Lp.Maximize in
+        let x = Lp.add_var lp Lp.Binary in
+        let y = Lp.add_var lp Lp.Binary in
+        Lp.add_constr lp [ (1.0, x); (1.0, y) ] Lp.Le 1.2;
+        Lp.set_objective lp [ (1.0, x); (1.0, y) ];
+        let options = { Bb.default_options with Bb.max_nodes = 1 } in
+        (match Bb.solve ~options lp with
+        | Bb.Feasible s ->
+          checkb "incumbent feasible" true (Lp.check_feasible lp s.Simplex.values);
+          check (Alcotest.float 1e-6) "incumbent obj" 1.0 s.Simplex.objective
+        | Bb.Optimal _ -> Alcotest.fail "truncated run must not claim Optimal"
+        | _ -> Alcotest.fail "expected a truncated incumbent"));
+    case "expired time limit never claims Optimal or Infeasible" (fun () ->
+        let lp = Lp.create Lp.Maximize in
+        let a = Lp.add_var lp Lp.Binary in
+        let b = Lp.add_var lp Lp.Binary in
+        let c = Lp.add_var lp Lp.Binary in
+        Lp.add_constr lp [ (2.0, a); (3.0, b); (1.0, c) ] Lp.Le 5.0;
+        Lp.set_objective lp [ (5.0, a); (4.0, b); (3.0, c) ];
+        let options = { Bb.default_options with Bb.time_limit = 0.0 } in
+        (match Bb.solve ~options lp with
+        | Bb.Unknown -> ()
+        | Bb.Feasible s ->
+          checkb "incumbent feasible" true (Lp.check_feasible lp s.Simplex.values)
+        | Bb.Optimal _ -> Alcotest.fail "no time to prove optimality"
+        | Bb.Infeasible -> Alcotest.fail "instance is feasible"
+        | Bb.Unbounded -> Alcotest.fail "instance is bounded"));
+    case "LP pivot cap at the root yields Unknown" (fun () ->
+        (* With one simplex pivot allowed the root relaxation cannot finish;
+           Iteration_limit must register as truncation, not as a verdict. *)
+        let lp = Lp.create Lp.Maximize in
+        let xs = Array.init 6 (fun _ -> Lp.add_var lp Lp.Binary) in
+        Lp.add_constr lp
+          (Array.to_list (Array.map (fun x -> (2.0, x)) xs))
+          Lp.Le 7.0;
+        Lp.add_constr lp
+          (Array.to_list (Array.mapi (fun i x -> (float_of_int (i + 1), x)) xs))
+          Lp.Le 9.0;
+        Lp.set_objective lp (Array.to_list (Array.map (fun x -> (1.0, x)) xs));
+        let options =
+          { Bb.default_options with
+            Bb.lp_iteration_limit = Some 1;
+            presolve = false }
+        in
+        (match Bb.solve ~options lp with
+        | Bb.Unknown -> ()
+        | Bb.Feasible _ -> Alcotest.fail "no node can produce an incumbent"
+        | Bb.Optimal _ -> Alcotest.fail "pivot-capped run must not claim Optimal"
+        | Bb.Infeasible -> Alcotest.fail "instance is feasible"
+        | Bb.Unbounded -> Alcotest.fail "instance is bounded"));
+    qcheck ~count:120 "pivot-capped solves stay sound" random_ilp_gen
+      (fun spec ->
+        (* A tight per-node pivot cap makes Iteration_limit fire at
+           arbitrary tree depths; whatever the outcome, it must never
+           contradict brute force. *)
+        let lp = build_random_ilp spec in
+        let options =
+          { Bb.default_options with Bb.lp_iteration_limit = Some 3 }
+        in
+        let brute = brute_force_best lp 3 in
+        match (Bb.solve ~options lp, brute) with
+        | Bb.Optimal s, Some best ->
+          abs_float (s.Simplex.objective -. best) < 1e-5
+        | Bb.Optimal _, None -> false
+        | Bb.Feasible s, Some best ->
+          Lp.check_feasible lp s.Simplex.values
+          && s.Simplex.objective <= best +. 1e-5
+        | Bb.Feasible _, None -> false
+        | Bb.Infeasible, None -> true
+        | Bb.Infeasible, Some _ -> false
+        | Bb.Unknown, _ -> true
+        | Bb.Unbounded, _ -> false);
   ]
 
 (* ---------- LP format round trip ---------- *)

@@ -55,7 +55,7 @@ let tests =
         (* the central soundness law: every valve the pipeline claims as
            flow-covered has its SA0 fault detected, and every cut/pierced
            valve its SA1 fault *)
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let covered_flow = Array.make (Fpva.num_valves t) false in
         List.iter
           (fun p ->
@@ -102,20 +102,20 @@ let tests =
               p.Flow_path.valve_ids)
           paths);
     qcheck_layout ~count:20 "suite round-trips through Suite_io" (fun t ->
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         match Suite_io.of_string t (Suite_io.to_string t suite.Pipeline.vectors) with
         | Ok vectors ->
           List.length vectors = List.length suite.Pipeline.vectors
         | Error _ -> false);
     qcheck_layout ~count:15 "sequencer never hurts and preserves detection"
       (fun t ->
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let before, after = Sequencer.improvement t suite.Pipeline.vectors in
         let ordered = Sequencer.order t suite.Pipeline.vectors in
         after <= before
         && List.length ordered = List.length suite.Pipeline.vectors);
     qcheck_layout ~count:10 "compaction preserves detected faults" (fun t ->
-        let suite = Pipeline.run t in
+        let suite = Pipeline.run_exn t in
         let compacted, missed = Compaction.compact t suite.Pipeline.vectors in
         List.for_all
           (fun f ->

@@ -120,14 +120,14 @@ let simulator_tests =
         checkb "chained victim" false states.(2));
     case "response equals golden on a fault-free chip" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         List.iter
           (fun v ->
             checkb "no false alarm" false (Simulator.detects t ~faults:[] v))
           r.Pipeline.vectors);
     case "suite detects every single stuck-at fault (5x5)" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         for v = 0 to Fpva.num_valves t - 1 do
           checkb "sa0" true
             (Simulator.detected_by_suite t
@@ -141,7 +141,7 @@ let simulator_tests =
     case "exhaustive two-fault detection (4x4 full)" (fun () ->
         (* the paper guarantees any two faults are detected *)
         let t = small_full_layout 4 4 in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let nv = Fpva.num_valves t in
         for i = 0 to nv - 1 do
           for j = i + 1 to nv - 1 do
@@ -160,7 +160,7 @@ let simulator_tests =
         done);
     case "first_detecting returns a detecting vector" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         match
           Simulator.first_detecting t
             ~faults:[ Fault.Stuck_at_0 0 ]
@@ -190,7 +190,7 @@ let simulator_tests =
       QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 5))
       (fun (seed, k) ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let rng = Fpva_util.Rng.create seed in
         let faults = Fault.random_multi rng t ~count:k in
         Simulator.detected_by_suite t ~faults r.Pipeline.vectors);
@@ -200,7 +200,7 @@ let campaign_tests =
   [
     case "campaign reproducible per seed" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with Campaign.trials = 200 }
         in
@@ -212,7 +212,7 @@ let campaign_tests =
           a.Campaign.rows b.Campaign.rows);
     case "campaign counts are consistent" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with Campaign.trials = 300 }
         in
@@ -226,7 +226,7 @@ let campaign_tests =
     case "stuck-at campaign achieves full detection (paper result)"
       (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with Campaign.trials = 1500 }
         in
@@ -238,7 +238,7 @@ let campaign_tests =
           res.Campaign.rows);
     case "mean latency is a sensible vector index" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with Campaign.trials = 400 }
         in
@@ -252,7 +252,7 @@ let campaign_tests =
     case "latency shrinks with more faults" (fun () ->
         (* more simultaneous faults -> caught earlier on average *)
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with Campaign.trials = 2000 }
         in
@@ -274,7 +274,7 @@ let campaign_tests =
           res.Campaign.rows);
     case "mixed-class campaign runs and classifies" (fun () ->
         let t = sample_layout () in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let config =
           { Campaign.default_config with
             Campaign.trials = 300;

@@ -83,21 +83,21 @@ let pipeline_tests =
         List.iter
           (fun n ->
             let t = Layouts.paper_array n in
-            let r = Pipeline.run t in
+            let r = Pipeline.run_exn t in
             checkb (Printf.sprintf "ok %d" n) true (Pipeline.suite_ok r);
             checki "totals add up" r.Pipeline.total
               (r.Pipeline.np + r.Pipeline.ncut + r.Pipeline.nl))
           [ 5; 10 ]);
     case "direct config works" (fun () ->
         let t = Layouts.paper_array 5 in
-        let r = Pipeline.run ~config:Pipeline.direct_config t in
+        let r = Pipeline.run_exn ~config:Pipeline.direct_config t in
         checkb "ok" true (Pipeline.suite_ok r));
     case "leakage can be disabled" (fun () ->
         let t = Layouts.paper_array 5 in
         let config =
           { Pipeline.default_config with Pipeline.include_leakage = false }
         in
-        let r = Pipeline.run ~config t in
+        let r = Pipeline.run_exn ~config t in
         checki "no leak vectors" 0 r.Pipeline.nl;
         checkb "ok" true (Pipeline.suite_ok r));
     case "vector count N is about 2 sqrt(nv) for the paper arrays"
@@ -107,7 +107,7 @@ let pipeline_tests =
         List.iter
           (fun n ->
             let t = Layouts.paper_array n in
-            let r = Pipeline.run t in
+            let r = Pipeline.run_exn t in
             let expectation = 2.0 *. sqrt (float_of_int (Fpva.num_valves t)) in
             let ratio = float_of_int r.Pipeline.total /. expectation in
             checkb
@@ -119,12 +119,12 @@ let pipeline_tests =
         let t = Fpva.create ~rows:3 ~cols:3 in
         checkb "raises" true
           (try
-             ignore (Pipeline.run t);
+             ignore (Pipeline.run_exn t);
              false
            with Invalid_argument _ -> true));
     case "report renders a Table-I row" (fun () ->
         let t = Layouts.paper_array 5 in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let table = Fpva_util.Table.create [ ("Dimension", Fpva_util.Table.Left) ] in
         ignore table;
         let table = Report.table1_header in
@@ -137,7 +137,7 @@ let pipeline_tests =
            scan 0));
     case "render_flow_paths marks every path" (fun () ->
         let t = Layouts.paper_array 5 in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         let s = Report.render_flow_paths t r.Pipeline.flow in
         List.iteri
           (fun i _ ->
@@ -177,7 +177,7 @@ let baseline_tests =
         done);
     case "baseline much larger than pipeline suite" (fun () ->
         let t = Layouts.paper_array 5 in
-        let r = Pipeline.run t in
+        let r = Pipeline.run_exn t in
         checkb "smaller" true (r.Pipeline.total * 2 < Baseline.vector_count t));
   ]
 

@@ -23,5 +23,6 @@ let () =
       ("app", Suite_app.tests);
       ("extensions", Suite_extensions.tests);
       ("io-compact", Suite_io_compact.tests);
+      ("robustness", Suite_robustness.tests);
       ("properties", Suite_props.tests);
     ]
