@@ -216,41 +216,114 @@ let max_faults_t =
   let doc = "Inject 1..M simultaneous faults." in
   Arg.(value & opt int 5 & info [ "max-faults" ] ~docv:"M" ~doc)
 
+let classes_t =
+  let doc =
+    "Fault classes to draw from, comma-separated: sa0, sa1, leak."
+  in
+  Arg.(value & opt string "sa0,sa1" & info [ "classes" ] ~docv:"LIST" ~doc)
+
+let parse_classes spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then Error "empty class list"
+  else
+    List.fold_left
+      (fun acc name ->
+        match (acc, name) with
+        | Error _, _ -> acc
+        | Ok cs, "sa0" -> Ok (cs @ [ `Stuck_at_0 ])
+        | Ok cs, "sa1" -> Ok (cs @ [ `Stuck_at_1 ])
+        | Ok cs, "leak" -> Ok (cs @ [ `Control_leak ])
+        | Ok _, other ->
+          Error (Printf.sprintf "unknown fault class %S (want sa0|sa1|leak)" other))
+      (Ok []) parts
+
+let noise_t =
+  let doc =
+    "Per-meter error rate (false-pass and false-fail) for noisy test \
+     application."
+  in
+  Arg.(value & opt float 0.0 & info [ "noise" ] ~docv:"RATE" ~doc)
+
+let repeats_t =
+  let doc =
+    "Per-vector read budget for adaptive majority-vote retesting (1 = \
+     single read, the paper's ideal-observation behaviour)."
+  in
+  Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"K" ~doc)
+
 let campaign_cmd =
-  let run name rows cols direct block no_leak trials seed max_faults =
+  let run name rows cols direct block no_leak trials seed max_faults classes
+      noise repeats =
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
+    let classes =
+      match parse_classes classes with
+      | Ok cs -> cs
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2
+    in
+    if noise < 0.0 || noise > 1.0 then begin
+      prerr_endline "error: --noise must be in [0,1]";
+      exit 2
+    end;
+    if repeats < 1 then begin
+      prerr_endline "error: --repeats must be >= 1";
+      exit 2
+    end;
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let campaign_config =
-      { Fpva_sim.Campaign.default_config with
-        Fpva_sim.Campaign.trials;
+      { Fpva_sim.Campaign.trials;
         seed;
+        classes;
         fault_counts = List.init max_faults (fun i -> i + 1) }
     in
-    let r =
-      Fpva_sim.Campaign.run ~config:campaign_config fpva
-        ~vectors:result.Pipeline.vectors
-    in
-    Format.printf "%a@?" Fpva_sim.Campaign.pp_result r
+    if noise > 0.0 || repeats > 1 then begin
+      let noise_config =
+        { Fpva_sim.Campaign.base = campaign_config;
+          noise_levels = [ noise ];
+          repeats }
+      in
+      let r =
+        Fpva_sim.Campaign.run_noisy ~config:noise_config fpva
+          ~vectors:result.Pipeline.vectors
+      in
+      Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r
+    end
+    else
+      let r =
+        Fpva_sim.Campaign.run ~config:campaign_config fpva
+          ~vectors:result.Pipeline.vectors
+      in
+      Format.printf "%a@?" Fpva_sim.Campaign.pp_result r
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
-      $ trials_t $ seed_t $ max_faults_t)
+      $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t)
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Generate a suite and run a random fault-injection campaign.")
+       ~doc:
+         "Generate a suite and run a random fault-injection campaign, \
+          optionally under measurement noise with majority-vote retesting.")
     term
 
 (* ---------- diagnose ---------- *)
 
 let inject_t =
-  let doc = "Fault to inject and diagnose: sa0:ID, sa1:ID or leak:A,B." in
+  let doc =
+    "Fault to inject and diagnose: sa0:ID, sa1:ID, leak:A,B, or \
+     int:P:FAULT for an intermittent fault active with probability P."
+  in
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT" ~doc)
 
-let parse_fault spec =
+let rec parse_fault spec =
   match String.split_on_char ':' spec with
   | [ "sa0"; v ] -> Ok (Fpva_sim.Fault.Stuck_at_0 (int_of_string v))
   | [ "sa1"; v ] -> Ok (Fpva_sim.Fault.Stuck_at_1 (int_of_string v))
@@ -259,12 +332,34 @@ let parse_fault spec =
     | [ a; b ] ->
       Ok (Fpva_sim.Fault.Control_leak (int_of_string a, int_of_string b))
     | _ -> Error "leak takes A,B")
-  | _ -> Error "expected sa0:ID, sa1:ID or leak:A,B"
+  | "int" :: p :: rest -> (
+    let p = float_of_string p in
+    if p < 0.0 || p > 1.0 then Error "intermittent probability outside [0,1]"
+    else
+      match parse_fault (String.concat ":" rest) with
+      | Ok f -> Ok (Fpva_sim.Fault.Intermittent (f, p))
+      | Error _ as e -> e)
+  | _ -> Error "expected sa0:ID, sa1:ID, leak:A,B or int:P:FAULT"
+
+let confidence_t =
+  let doc =
+    "Minimum posterior confidence for a ranked candidate to be listed."
+  in
+  Arg.(value & opt float 0.0 & info [ "confidence" ] ~docv:"C" ~doc)
 
 let diagnose_cmd =
-  let run name rows cols file direct block no_leak inject =
+  let run name rows cols file direct block no_leak inject noise repeats
+      confidence seed =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
+    if noise < 0.0 || noise >= 1.0 then begin
+      prerr_endline "error: --noise must be in [0,1)";
+      exit 2
+    end;
+    if repeats < 1 then begin
+      prerr_endline "error: --repeats must be >= 1";
+      exit 2
+    end;
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let faults = Fpva_sim.Diagnosis.single_faults fpva in
@@ -285,9 +380,33 @@ let diagnose_cmd =
         prerr_endline ("error: " ^ msg);
         exit 2
       | Ok fault ->
+        let noisy = noise > 0.0 || repeats > 1 in
         let observed =
-          Fpva_sim.Diagnosis.syndrome_of fpva ~vectors:result.Pipeline.vectors
-            ~faults:[ fault ]
+          if noisy then begin
+            (* Apply the suite through the noise model with adaptive
+               retesting; the per-vector majority verdicts form the
+               observed syndrome. *)
+            let meter =
+              Fpva_sim.Measurement.uniform fpva ~false_pass:noise
+                ~false_fail:noise
+            in
+            let rng = Fpva_util.Rng.create seed in
+            let session =
+              Retest.run (Retest.policy repeats)
+                ~read:(fun v _ ->
+                  Fpva_sim.Measurement.detects meter rng fpva
+                    ~faults:[ fault ] v)
+                result.Pipeline.vectors
+            in
+            print_endline (Report.retest_summary session);
+            Array.of_list
+              (List.map
+                 (fun o -> o.Retest.verdict.Retest.failed)
+                 session.Retest.outcomes)
+          end
+          else
+            Fpva_sim.Diagnosis.syndrome_of fpva
+              ~vectors:result.Pipeline.vectors ~faults:[ fault ]
         in
         let failing =
           Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 observed
@@ -295,28 +414,57 @@ let diagnose_cmd =
         Printf.printf "injected %s: %d/%d vectors fail\n"
           (Fpva_sim.Fault.to_string fault)
           failing (List.length result.Pipeline.vectors);
-        let candidates = Fpva_sim.Diagnosis.diagnose dict observed in
-        if candidates = [] then
-          print_endline
-            "no single-fault candidate matches (multi-fault or out of model)"
+        if noisy then begin
+          let meter =
+            Fpva_sim.Measurement.uniform fpva ~false_pass:noise
+              ~false_fail:noise
+          in
+          let ranked =
+            Fpva_sim.Diagnosis.rank
+              ~false_pass:(Fpva_sim.Measurement.vector_false_pass meter)
+              ~false_fail:(Fpva_sim.Measurement.vector_false_fail meter)
+              ~limit:10 dict observed
+            |> List.filter (fun r ->
+                   r.Fpva_sim.Diagnosis.confidence >= confidence)
+          in
+          if ranked = [] then
+            print_endline "no candidate clears the confidence threshold"
+          else begin
+            print_endline "ranked candidates:";
+            List.iter
+              (fun r ->
+                Printf.printf "  %-18s confidence %.3f (hamming %d)\n"
+                  (Fpva_sim.Fault.to_string r.Fpva_sim.Diagnosis.fault)
+                  r.Fpva_sim.Diagnosis.confidence
+                  r.Fpva_sim.Diagnosis.hamming)
+              ranked
+          end
+        end
         else begin
-          Printf.printf "candidates:";
-          List.iter
-            (fun f -> Printf.printf " %s" (Fpva_sim.Fault.to_string f))
-            candidates;
-          print_newline ()
+          let candidates = Fpva_sim.Diagnosis.diagnose dict observed in
+          if candidates = [] then
+            print_endline
+              "no single-fault candidate matches (multi-fault or out of model)"
+          else begin
+            Printf.printf "candidates:";
+            List.iter
+              (fun f -> Printf.printf " %s" (Fpva_sim.Fault.to_string f))
+              candidates;
+            print_newline ()
+          end
         end)
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
-      $ no_leak_t $ inject_t)
+      $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t)
   in
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:
          "Build a diagnostic dictionary for the suite; optionally inject a \
-          fault and list the consistent candidates.")
+          fault (exactly, or through a noisy retested application) and \
+          list the consistent or likelihood-ranked candidates.")
     term
 
 let () =

@@ -77,7 +77,8 @@ let () =
           Some
             (match fault with
             | Fault.Stuck_at_0 _ -> Test_vector.of_flow_path fpva path
-            | Fault.Stuck_at_1 _ | Fault.Control_leak _ ->
+            | Fault.Stuck_at_1 _ | Fault.Control_leak _
+            | Fault.Intermittent _ ->
               Test_vector.of_pierced_path fpva path v)
         else None
       | None -> None)

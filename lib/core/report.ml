@@ -56,6 +56,14 @@ let degradation_summary (r : Pipeline.t) =
   String.concat "\n"
     ("degradation:" :: List.map line r.Pipeline.degradation)
 
+let retest_summary (s : _ Retest.session) =
+  let n = List.length s.Retest.outcomes in
+  Printf.sprintf
+    "retest: %d vector(s), %d read(s) total (mean %.2f/vector), %d \
+     escalated past the confirmation read, %d flagged"
+    n s.Retest.total_reads (Retest.mean_reads s) s.Retest.escalated
+    s.Retest.flagged
+
 let summary (r : Pipeline.t) =
   let nv = Fpva.num_valves r.Pipeline.fpva in
   Printf.sprintf

@@ -21,6 +21,10 @@ val render_cut : Fpva.t -> Cut_set.t -> string
 val summary : Pipeline.t -> string
 (** One-paragraph text summary of a generated suite. *)
 
+val retest_summary : _ Retest.session -> string
+(** One-line degradation-style account of an adaptive retest session:
+    vectors applied, total/mean reads, escalations and flagged vectors. *)
+
 val degradation_summary : Pipeline.t -> string
 (** Multi-line per-stage report: budget consumption (seconds used of the
     stage's share) and status — exact, fell back to search, or partial with

@@ -103,16 +103,144 @@ let effective_trials row = row.trials - row.void_draws
 let detection_rate row =
   Fpva_util.Stats.ratio row.detected (effective_trials row)
 
+let mean_latency_string row =
+  (* A row with zero detections has no latency to average; never let the
+     placeholder nan leak into reports. *)
+  if Float.is_nan row.mean_latency then "-"
+  else Printf.sprintf "%.1f" row.mean_latency
+
 let pp_result ppf r =
   List.iter
     (fun row ->
       Format.fprintf ppf
-        "faults=%d detected=%d/%d (%.4f), mean first-detect vector %.1f"
+        "faults=%d detected=%d/%d (%.4f), mean first-detect vector %s"
         row.fault_count row.detected (effective_trials row)
-        (detection_rate row) row.mean_latency;
+        (detection_rate row) (mean_latency_string row);
       if row.short_draws > 0 then
         Format.fprintf ppf " [%d short draw(s), %d empty]" row.short_draws
           row.void_draws;
       Format.fprintf ppf "@.")
     r.rows;
   Format.fprintf ppf "wall=%.1fs@." r.wall_seconds
+
+(* ---------- noise sweep ---------- *)
+
+module Retest = Fpva_testgen.Retest
+
+type noise_config = {
+  base : config;
+  noise_levels : float list;
+  repeats : int;
+}
+
+let default_noise_config =
+  { base = { default_config with trials = 1_000 };
+    noise_levels = [ 0.0; 0.01; 0.02; 0.05 ];
+    repeats = 3 }
+
+type noise_row = {
+  noise : float;
+  n_fault_count : int;
+  n_trials : int;
+  n_detected : int;
+  false_alarms : int;
+  n_short_draws : int;
+  n_void_draws : int;
+  total_reads : int;
+  vector_slots : int;
+}
+
+type noise_result = {
+  noise_rows : noise_row list;
+  repeats : int;
+  n_wall_seconds : float;
+}
+
+let noisy_effective_trials row = row.n_trials - row.n_void_draws
+
+let noisy_detection_rate row =
+  Fpva_util.Stats.ratio row.n_detected (noisy_effective_trials row)
+
+let false_alarm_rate row =
+  Fpva_util.Stats.ratio row.false_alarms row.n_trials
+
+let mean_reads row =
+  if row.vector_slots = 0 then 0.0
+  else float_of_int row.total_reads /. float_of_int row.vector_slots
+
+let run_noisy ?(config = default_noise_config) fpva ~vectors =
+  let t0 = Fpva_util.Timer.now () in
+  let base = config.base in
+  let policy = Retest.policy config.repeats in
+  let rows =
+    List.concat_map
+      (fun noise ->
+        let meter =
+          Measurement.uniform fpva ~false_pass:noise ~false_fail:noise
+        in
+        (* The fault stream reuses the plain campaign's seed and draw
+           order, so every noise level (and [run] itself) scores the same
+           injected fault sets; meter noise comes from an independent
+           derived stream so that noise 0 + repeats 1 is bit-identical to
+           the ideal campaign. *)
+        let rng = Rng.create base.seed in
+        let meter_rng = Rng.create (base.seed lxor 0x5f3759df) in
+        let session ~slots ~reads faults =
+          let rec scan = function
+            | [] -> false
+            | v :: rest ->
+              incr slots;
+              let verdict =
+                Retest.apply policy ~read:(fun _ ->
+                    Measurement.detects meter meter_rng fpva ~faults v)
+              in
+              reads := !reads + verdict.Retest.reads;
+              if verdict.Retest.failed then true else scan rest
+          in
+          scan vectors
+        in
+        List.map
+          (fun fault_count ->
+            let detected = ref 0 and false_alarms = ref 0 in
+            let short_draws = ref 0 and void_draws = ref 0 in
+            let total_reads = ref 0 and vector_slots = ref 0 in
+            for _ = 1 to base.trials do
+              let faults =
+                draw_faults rng fpva ~classes:base.classes ~count:fault_count
+              in
+              if List.length faults < fault_count then incr short_draws;
+              if faults = [] then incr void_draws
+              else if session ~slots:vector_slots ~reads:total_reads faults
+              then incr detected;
+              (* Healthy-chip control session: any flagged vector here is a
+                 false alarm (it can only come from meter noise). *)
+              if session ~slots:vector_slots ~reads:total_reads [] then
+                incr false_alarms
+            done;
+            { noise; n_fault_count = fault_count; n_trials = base.trials;
+              n_detected = !detected; false_alarms = !false_alarms;
+              n_short_draws = !short_draws; n_void_draws = !void_draws;
+              total_reads = !total_reads; vector_slots = !vector_slots })
+          base.fault_counts)
+      config.noise_levels
+  in
+  { noise_rows = rows; repeats = config.repeats;
+    n_wall_seconds = Fpva_util.Timer.now () -. t0 }
+
+let pp_noise_row ppf row =
+  Format.fprintf ppf
+    "noise=%.3f faults=%d detected=%d/%d (%.4f), false alarms %d/%d \
+     (%.4f), mean reads/vector %.2f"
+    row.noise row.n_fault_count row.n_detected (noisy_effective_trials row)
+    (noisy_detection_rate row) row.false_alarms row.n_trials
+    (false_alarm_rate row) (mean_reads row);
+  if row.n_short_draws > 0 then
+    Format.fprintf ppf " [%d short draw(s), %d empty]" row.n_short_draws
+      row.n_void_draws
+
+let pp_noise_result ppf r =
+  List.iter
+    (fun row -> Format.fprintf ppf "%a@." pp_noise_row row)
+    r.noise_rows;
+  Format.fprintf ppf "repeats<=%d per vector, wall=%.1fs@." r.repeats
+    r.n_wall_seconds

@@ -61,4 +61,75 @@ val effective_trials : row -> int
 val detection_rate : row -> float
 (** [detected / effective_trials] ([0.] when no trial injected anything). *)
 
+val mean_latency_string : row -> string
+(** [mean_latency] formatted to one decimal, or ["-"] when the row has no
+    detections (the latency is undefined, not zero). *)
+
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Noise sweep}
+
+    The same experiment under imperfect observation: every vector is read
+    through a {!Measurement} error model and retested under an adaptive
+    majority-vote policy ({!Fpva_testgen.Retest}).  Each trial also runs a
+    healthy-chip control session, so rows report a {e false-alarm} rate
+    alongside detection, plus the measurement cost (mean reads per
+    vector). *)
+
+type noise_config = {
+  base : config;  (** trials, fault counts, seed and classes, as for
+                      {!run} *)
+  noise_levels : float list;
+      (** per-meter error rates; each level is applied as both the
+          false-pass and the false-fail rate *)
+  repeats : int;  (** per-vector read budget for the majority vote *)
+}
+
+val default_noise_config : noise_config
+(** 1 000 trials, noise levels 0 / 1% / 2% / 5%, up to 3 reads. *)
+
+type noise_row = {
+  noise : float;
+  n_fault_count : int;
+  n_trials : int;
+  n_detected : int;  (** faulty-chip sessions with a failed verdict *)
+  false_alarms : int;  (** healthy-chip sessions with a failed verdict *)
+  n_short_draws : int;
+  n_void_draws : int;
+  total_reads : int;  (** vector applications across all sessions *)
+  vector_slots : int;  (** vector positions evaluated (a session stops at
+                           its first failed verdict) *)
+}
+
+type noise_result = {
+  noise_rows : noise_row list;  (** keyed by noise level x fault count *)
+  repeats : int;
+  n_wall_seconds : float;
+}
+
+val run_noisy :
+  ?config:noise_config ->
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  noise_result
+(** Fault draws reuse {!run}'s stream (seeded from [base.seed]), so every
+    noise level — and the ideal campaign — scores identical injected
+    fault sets; meter noise draws from an independent derived stream.
+    With noise 0 and repeats 1 the detected counts equal {!run}'s
+    bit-for-bit, and equal seeds reproduce rows byte-for-byte.
+    @raise Invalid_argument if [repeats < 1] or a level is outside
+    [0,1]. *)
+
+val noisy_effective_trials : noise_row -> int
+
+val noisy_detection_rate : noise_row -> float
+
+val false_alarm_rate : noise_row -> float
+(** [false_alarms / trials] (every trial runs a control session). *)
+
+val mean_reads : noise_row -> float
+(** Average vector applications per evaluated vector position. *)
+
+val pp_noise_row : Format.formatter -> noise_row -> unit
+
+val pp_noise_result : Format.formatter -> noise_result -> unit

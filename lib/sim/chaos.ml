@@ -50,6 +50,10 @@ let corrupt ~mode (p : Problem.path) =
   | Some q -> q
   | None -> { Problem.nodes = []; edges = [] }
 
+let flaky_read ~flips read attempt =
+  let r = read attempt in
+  if List.mem attempt flips then not r else r
+
 let wrap ?monitor:m fault base =
   let m = match m with Some m -> m | None -> monitor () in
   let base_find problem ~weight = Cover.find_one base problem ~weight in

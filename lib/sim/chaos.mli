@@ -51,3 +51,10 @@ val wrap :
     calls and injections so tests can assert the fault actually fired. *)
 
 val fault_name : fault -> string
+
+val flaky_read : flips:int list -> (int -> bool) -> int -> bool
+(** Deterministic meter-noise injection for retest tests: wraps a
+    per-attempt read function ([Fpva_testgen.Retest.apply]'s shape),
+    inverting the result of every attempt whose 0-based index appears in
+    [flips].  Lets tests exercise majority-vote recovery on an exact flip
+    pattern instead of a probabilistic one. *)

@@ -35,6 +35,79 @@ let diagnose dict observed =
     Array.to_list dict.entries
     |> List.filter_map (fun (f, s) -> if s = observed then Some f else None)
 
+type ranked = {
+  fault : Fault.t;
+  hamming : int;
+  log_likelihood : float;
+  confidence : float;
+}
+
+let hamming a b =
+  let d = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr d) a;
+  !d
+
+let check_flip_rate fn r =
+  if not (r >= 0.0 && r < 1.0) then
+    invalid_arg (Printf.sprintf "Diagnosis.%s: rate %g outside [0,1)" fn r)
+
+let rank ?(false_pass = 0.0) ?(false_fail = 0.0) ?limit dict observed =
+  check_flip_rate "rank" false_pass;
+  check_flip_rate "rank" false_fail;
+  let l_fp = if false_pass > 0.0 then log false_pass else neg_infinity in
+  let l_nfp = log (1.0 -. false_pass) in
+  let l_ff = if false_fail > 0.0 then log false_fail else neg_infinity in
+  let l_nff = log (1.0 -. false_fail) in
+  let scored =
+    Array.to_list dict.entries
+    |> List.map (fun (f, s) ->
+           let ll = ref 0.0 in
+           Array.iteri
+             (fun i o ->
+               let term =
+                 match (s.(i), o) with
+                 | true, true -> l_nfp
+                 | true, false -> l_fp (* predicted fail observed passing *)
+                 | false, true -> l_ff (* predicted pass observed failing *)
+                 | false, false -> l_nff
+               in
+               ll := !ll +. term)
+             observed;
+           (f, hamming s observed, !ll))
+    (* Zero-probability candidates explain nothing: at zero noise this
+       reduces the ranking to the exact matches [diagnose] returns. *)
+    |> List.filter (fun (_, _, ll) -> ll > neg_infinity)
+  in
+  let max_ll =
+    List.fold_left (fun m (_, _, ll) -> Float.max m ll) neg_infinity scored
+  in
+  let weighted =
+    List.map (fun (f, d, ll) -> (f, d, ll, exp (ll -. max_ll))) scored
+  in
+  let z = List.fold_left (fun acc (_, _, _, w) -> acc +. w) 0.0 weighted in
+  let ranked =
+    List.map
+      (fun (f, d, ll, w) ->
+        { fault = f; hamming = d; log_likelihood = ll;
+          confidence = (if z > 0.0 then w /. z else 0.0) })
+      weighted
+    |> List.stable_sort (fun a b ->
+           match compare b.log_likelihood a.log_likelihood with
+           | 0 -> compare a.hamming b.hamming
+           | c -> c)
+  in
+  match limit with
+  | None -> ranked
+  | Some n -> List.filteri (fun i _ -> i < n) ranked
+
+let top_class ranked =
+  match ranked with
+  | [] -> []
+  | best :: _ ->
+    List.filter
+      (fun r -> r.log_likelihood >= best.log_likelihood -. 1e-9)
+      ranked
+
 let subset a b =
   (* a ⊆ b, pointwise on failure bits *)
   let ok = ref true in

@@ -41,6 +41,43 @@ val diagnose : dictionary -> syndrome -> Fault.t list
     syndrome matching no candidate also returns [] (multi-fault or
     out-of-model behaviour). *)
 
+type ranked = {
+  fault : Fault.t;
+  hamming : int;  (** syndrome bits disagreeing with the observation *)
+  log_likelihood : float;  (** log P(observation | fault) under the noise
+                               model *)
+  confidence : float;  (** posterior over the candidate set (uniform
+                           prior): likelihoods normalised to sum to 1 *)
+}
+
+val rank :
+  ?false_pass:float ->
+  ?false_fail:float ->
+  ?limit:int ->
+  dictionary ->
+  syndrome ->
+  ranked list
+(** Likelihood-ranked diagnosis under a per-vector syndrome-bit noise
+    model: a vector predicted to fail is observed passing with probability
+    [false_pass], and one predicted to pass is observed failing with
+    probability [false_fail] (obtain both from
+    [Measurement.vector_false_pass] / [vector_false_fail], or pass the raw
+    meter rate as an approximation).  Candidates are ordered by descending
+    log-likelihood (ties by ascending Hamming distance); [limit] keeps the
+    top entries.
+
+    Zero-likelihood candidates are dropped, so with both rates 0 the
+    ranking contains exactly the candidates whose syndrome matches the
+    observation bit-for-bit — {!diagnose}'s result on any failing
+    observation — each with equal confidence.  (On an all-pass observation
+    [diagnose] short-circuits to []; [rank] instead returns the
+    undetected-fault class, which is the honest answer under noise.)
+    @raise Invalid_argument if a rate is outside [0,1). *)
+
+val top_class : ranked list -> ranked list
+(** The maximum-likelihood equivalence class: every candidate whose
+    log-likelihood ties the best (within 1e-9). *)
+
 val diagnose_subsuming : dictionary -> syndrome -> Fault.t list
 (** Weaker matching for multi-fault observations: candidates whose syndrome
     is a non-empty subset of the observed failures (each such fault alone

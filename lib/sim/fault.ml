@@ -5,26 +5,50 @@ type t =
   | Stuck_at_0 of int
   | Stuck_at_1 of int
   | Control_leak of int * int
+  | Intermittent of t * float
 
 let equal a b = a = b
 
-let pp ppf = function
+let rec pp ppf = function
   | Stuck_at_0 v -> Format.fprintf ppf "SA0(valve %d)" v
   | Stuck_at_1 v -> Format.fprintf ppf "SA1(valve %d)" v
   | Control_leak (a, b) -> Format.fprintf ppf "LEAK(%d->%d)" a b
+  | Intermittent (f, p) -> Format.fprintf ppf "INT(%a@@%.2f)" pp f p
 
 let to_string f = Format.asprintf "%a" pp f
 
-let valves_involved = function
+let rec valves_involved = function
   | Stuck_at_0 v | Stuck_at_1 v -> [ v ]
   | Control_leak (a, b) -> [ a; b ]
+  | Intermittent (f, _) -> valves_involved f
 
-let is_valid fpva f =
+let rec underlying = function
+  | Intermittent (f, _) -> underlying f
+  | (Stuck_at_0 _ | Stuck_at_1 _ | Control_leak _) as f -> f
+
+let intermittent ~probability f =
+  if not (probability >= 0.0 && probability <= 1.0) then
+    invalid_arg "Fault.intermittent: probability outside [0,1]";
+  Intermittent (f, probability)
+
+let rec is_valid fpva f =
   let nv = Fpva.num_valves fpva in
   let ok v = v >= 0 && v < nv in
   match f with
   | Stuck_at_0 v | Stuck_at_1 v -> ok v
   | Control_leak (a, b) -> ok a && ok b && a <> b
+  | Intermittent (f, p) -> p >= 0.0 && p <= 1.0 && is_valid fpva f
+
+let resolve rng faults =
+  (* One activity draw per intermittent wrapper per application; permanent
+     faults pass through without consuming randomness so that a fault list
+     free of intermittents leaves the stream untouched. *)
+  let rec one = function
+    | Intermittent (f, p) ->
+      if p > 0.0 && Rng.float rng 1.0 < p then one f else None
+    | (Stuck_at_0 _ | Stuck_at_1 _ | Control_leak _) as f -> Some f
+  in
+  List.filter_map one faults
 
 let random rng fpva =
   let nv = Fpva.num_valves fpva in

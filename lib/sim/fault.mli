@@ -6,7 +6,13 @@
       or a broken control channel on a normally-closed actuation scheme);
     - [Stuck_at_1 v] — valve [v] can never be closed (leaking flow channel);
     - [Control_leak (a, b)] — pressure leaks between the control channels of
-      [a] and [b]: whenever [a] is actuated (closed), [b] closes too.
+      [a] and [b]: whenever [a] is actuated (closed), [b] closes too;
+    - [Intermittent (f, p)] — fault [f] manifests only sporadically: each
+      application of a test vector draws its activity with probability [p]
+      (loose membrane, marginal actuation pressure).  The ideal
+      {!Simulator} treats an intermittent fault as permanently active (the
+      deterministic worst case); the noisy {!Measurement} path re-draws it
+      per application via {!resolve}.
 
     Valves are identified by their dense id ([Fpva.valve_id]). *)
 
@@ -16,6 +22,7 @@ type t =
   | Stuck_at_0 of int
   | Stuck_at_1 of int
   | Control_leak of int * int
+  | Intermittent of t * float
 
 val equal : t -> t -> bool
 
@@ -26,7 +33,23 @@ val to_string : t -> string
 val valves_involved : t -> int list
 
 val is_valid : Fpva.t -> t -> bool
-(** Ids in range; [Control_leak] pair distinct. *)
+(** Ids in range; [Control_leak] pair distinct; [Intermittent] probability
+    in [0,1] and wrapped fault valid. *)
+
+val underlying : t -> t
+(** The permanent fault beneath any [Intermittent] wrappers (identity on
+    permanent faults). *)
+
+val intermittent : probability:float -> t -> t
+(** [intermittent ~probability f] wraps [f] as sporadically active.
+    @raise Invalid_argument if [probability] is outside [0,1]. *)
+
+val resolve : Fpva_util.Rng.t -> t list -> t list
+(** One application's worth of active faults: permanent faults pass
+    through; each [Intermittent (f, p)] is included (as [f], recursively
+    resolved) with probability [p].  Draws exactly one random number per
+    intermittent wrapper, and none for permanent faults, so ideal fault
+    lists do not perturb the stream. *)
 
 val random : Fpva_util.Rng.t -> Fpva.t -> t
 (** A uniformly random fault: polarity fair coin over stuck-at faults; use

@@ -5,6 +5,11 @@ let effective_states fpva ~faults ~open_valves =
   let nv = Fpva.num_valves fpva in
   if Array.length open_valves <> nv then
     invalid_arg "Simulator.effective_states";
+  (* The ideal simulator takes the deterministic worst case: an intermittent
+     fault is treated as permanently active.  Per-application activity draws
+     live in [Measurement.apply_vector], which resolves wrappers before
+     calling down here. *)
+  let faults = List.map Fault.underlying faults in
   let states = Array.copy open_valves in
   (* Control leaks first: an actuated (commanded-closed) aggressor drags its
      victim closed.  Leak chains propagate (a->b, b->c): iterate to a fixed
@@ -22,20 +27,20 @@ let effective_states fpva ~faults ~open_valves =
             states.(b) <- false;
             changed := true
           end
-        | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ -> ())
+        | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ | Fault.Intermittent _ -> ())
       faults
   done;
   List.iter
     (fun f ->
       match f with
       | Fault.Stuck_at_1 v -> states.(v) <- true
-      | Fault.Stuck_at_0 _ | Fault.Control_leak _ -> ())
+      | Fault.Stuck_at_0 _ | Fault.Control_leak _ | Fault.Intermittent _ -> ())
     faults;
   List.iter
     (fun f ->
       match f with
       | Fault.Stuck_at_0 v -> states.(v) <- false
-      | Fault.Stuck_at_1 _ | Fault.Control_leak _ -> ())
+      | Fault.Stuck_at_1 _ | Fault.Control_leak _ | Fault.Intermittent _ -> ())
     faults;
   states
 
@@ -63,7 +68,7 @@ let first_detecting fpva ~faults suite =
 (* Tailored probes: for each fault, synthesise the vector family that would
    expose it on a fault-free-except-this chip, then check whether any member
    actually distinguishes the full fault list. *)
-let probes_for fpva fault =
+let rec probes_for fpva fault =
   let module Fp = Fpva_testgen.Flow_path in
   let module Cs = Fpva_testgen.Cut_set in
   let module Ps = Fpva_testgen.Path_search in
@@ -120,6 +125,7 @@ let probes_for fpva fault =
   | Fault.Stuck_at_0 v -> flow_probe v
   | Fault.Stuck_at_1 v -> cut_probes v @ pierced_probe v
   | Fault.Control_leak (a, b) -> flow_probe ~forbidden:[ a ] b
+  | Fault.Intermittent (f, _) -> probes_for fpva f
 
 let detectable fpva ~faults =
   let probes = List.concat_map (probes_for fpva) faults in

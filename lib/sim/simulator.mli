@@ -8,7 +8,10 @@
 
     Faults perturb the effective valve states: a stuck-at-0 valve is always
     closed, a stuck-at-1 valve always open, and a control leak closes the
-    victim whenever the vector actuates the aggressor. *)
+    victim whenever the vector actuates the aggressor.  Intermittent
+    wrappers are treated as permanently active here (the deterministic
+    worst case); the draw-per-application behaviour lives in
+    {!Measurement}. *)
 
 open Fpva_grid
 

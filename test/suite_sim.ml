@@ -45,7 +45,7 @@ let fault_tests =
           match Fault.random_of_classes rng t ~classes:[ `Control_leak ] with
           | Fault.Control_leak (a, b) ->
             checkb "adjacent pair drawn" true (a <> b)
-          | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ ->
+          | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ | Fault.Intermittent _ ->
             Alcotest.fail "wrong class"
         done);
     case "to_string formats" (fun () ->
@@ -194,6 +194,50 @@ let simulator_tests =
         let rng = Fpva_util.Rng.create seed in
         let faults = Fault.random_multi rng t ~count:k in
         Simulator.detected_by_suite t ~faults r.Pipeline.vectors);
+    (* Leak chains are resolved by a fixed-point iteration; its result must
+       not depend on the order faults are listed in, and it must terminate
+       on cyclic leak relations (a<->b), which the generator injects on
+       purpose. *)
+    qcheck ~count:100 "effective_states: permutation-invariant, leak cycles \
+                       terminate"
+      QCheck2.Gen.(int_bound 1_000_000)
+      (fun seed ->
+        let t = sample_layout () in
+        let nv = Fpva.num_valves t in
+        let rng = Fpva_util.Rng.create seed in
+        let module R = Fpva_util.Rng in
+        let random_fault () =
+          match R.int rng 4 with
+          | 0 -> Fault.Stuck_at_0 (R.int rng nv)
+          | 1 -> Fault.Stuck_at_1 (R.int rng nv)
+          | _ ->
+            let a = R.int rng nv in
+            let b = (a + 1 + R.int rng (nv - 1)) mod nv in
+            Fault.Control_leak (a, b)
+        in
+        let faults =
+          ref (List.init (1 + R.int rng 6) (fun _ -> random_fault ()))
+        in
+        (* force a two-cycle (and sometimes a self-reinforcing pair chain) *)
+        let a = R.int rng nv in
+        let b = (a + 1 + R.int rng (nv - 1)) mod nv in
+        faults := Fault.Control_leak (a, b) :: Fault.Control_leak (b, a)
+                  :: !faults;
+        let open_valves = Array.init nv (fun _ -> R.bool rng) in
+        let reference =
+          Simulator.effective_states t ~faults:!faults ~open_valves
+        in
+        let arr = Array.of_list !faults in
+        R.shuffle_in_place rng arr;
+        let permuted =
+          Simulator.effective_states t ~faults:(Array.to_list arr)
+            ~open_valves
+        in
+        let reversed =
+          Simulator.effective_states t ~faults:(List.rev !faults)
+            ~open_valves
+        in
+        reference = permuted && reference = reversed);
   ]
 
 let campaign_tests =
@@ -292,7 +336,8 @@ let campaign_tests =
                     (List.exists
                        (function
                          | Fault.Control_leak _ -> true
-                         | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _ -> false)
+                         | Fault.Stuck_at_0 _ | Fault.Stuck_at_1 _
+                         | Fault.Intermittent _ -> false)
                        faults);
                   checkb "escape is undetectable" false
                     (Simulator.detectable t ~faults)

@@ -24,5 +24,6 @@ let () =
       ("extensions", Suite_extensions.tests);
       ("io-compact", Suite_io_compact.tests);
       ("robustness", Suite_robustness.tests);
+      ("noise", Suite_noise.tests);
       ("properties", Suite_props.tests);
     ]
