@@ -404,6 +404,108 @@ let extensions () =
      over the whole test session.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Campaign throughput: compiled core vs the per-call reference path   *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-refactor application path, reconstructed on top of the kept
+   specification traversal: every vector application re-derives effective
+   valve states and walks the grid node-by-node through an edge-valued
+   predicate.  Same RNG seed and draw order as [Campaign.run], so the two
+   paths score identical fault sets and must agree on detection counts. *)
+let legacy_campaign_run config fpva ~vectors =
+  let t0 = Fpva_util.Timer.now () in
+  let rng = Fpva_util.Rng.create config.Fpva_sim.Campaign.seed in
+  let detects ~faults v =
+    let states =
+      Fpva_sim.Simulator.effective_states fpva ~faults
+        ~open_valves:v.Test_vector.open_valves
+    in
+    let obs =
+      Graph.pressurized_sinks_spec fpva ~open_edge:(fun e ->
+          match Fpva.valve_id_opt fpva e with
+          | Some vid -> states.(vid)
+          | None -> true)
+    in
+    obs <> v.Test_vector.golden
+  in
+  let detected = ref 0 in
+  List.iter
+    (fun fault_count ->
+      for _ = 1 to config.Fpva_sim.Campaign.trials do
+        let faults = Fpva_sim.Fault.random_multi rng fpva ~count:fault_count in
+        if faults <> [] && List.exists (fun v -> detects ~faults v) vectors
+        then incr detected
+      done)
+    config.Fpva_sim.Campaign.fault_counts;
+  (!detected, Fpva_util.Timer.now () -. t0)
+
+let campaign_bench ~trials () =
+  heading
+    (Printf.sprintf
+       "Campaign throughput: 8x8 array, %d trials per fault count" trials);
+  let fpva = Layouts.paper_array 8 in
+  let suite = Pipeline.run_exn fpva in
+  let vectors = suite.Pipeline.vectors in
+  let config =
+    { Fpva_sim.Campaign.default_config with Fpva_sim.Campaign.trials }
+  in
+  let total_trials = trials * List.length config.Fpva_sim.Campaign.fault_counts in
+  let rate n wall = float_of_int n /. Float.max wall 1e-9 in
+  (* Compiled path, ideal meters. *)
+  let ideal = Fpva_sim.Campaign.run ~config fpva ~vectors in
+  let ideal_detected =
+    List.fold_left
+      (fun acc r -> acc + r.Fpva_sim.Campaign.detected)
+      0 ideal.Fpva_sim.Campaign.rows
+  in
+  let ideal_tps = rate total_trials ideal.Fpva_sim.Campaign.wall_seconds in
+  (* Compiled path, noisy meters with adaptive retesting. *)
+  let noise_config =
+    { Fpva_sim.Campaign.base = config;
+      noise_levels = [ 0.02 ];
+      repeats = 3 }
+  in
+  let noisy = Fpva_sim.Campaign.run_noisy ~config:noise_config fpva ~vectors in
+  let noisy_tps = rate total_trials noisy.Fpva_sim.Campaign.n_wall_seconds in
+  (* Reference (pre-refactor) path. *)
+  let legacy_detected, legacy_wall = legacy_campaign_run config fpva ~vectors in
+  let legacy_tps = rate total_trials legacy_wall in
+  let speedup = ideal_tps /. Float.max legacy_tps 1e-9 in
+  let agreement = ideal_detected = legacy_detected in
+  Printf.printf "vectors=%d, fault counts %s\n" suite.Pipeline.total
+    (String.concat ","
+       (List.map string_of_int config.Fpva_sim.Campaign.fault_counts));
+  Printf.printf "ideal (compiled) : %d trials in %.3fs  (%.0f trials/s)\n"
+    total_trials ideal.Fpva_sim.Campaign.wall_seconds ideal_tps;
+  Printf.printf "noisy (compiled) : %d trials in %.3fs  (%.0f trials/s)\n"
+    total_trials noisy.Fpva_sim.Campaign.n_wall_seconds noisy_tps;
+  Printf.printf "legacy reference : %d trials in %.3fs  (%.0f trials/s)\n"
+    total_trials legacy_wall legacy_tps;
+  Printf.printf "speedup (ideal vs legacy): %.1fx, detection counts agree: %b\n"
+    speedup agreement;
+  if not agreement then
+    Printf.printf "WARNING: compiled path detected %d, legacy detected %d\n"
+      ideal_detected legacy_detected;
+  let oc = open_out "BENCH_campaign.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"layout\": \"paper_array_8x8\",\n\
+    \  \"vectors\": %d,\n\
+    \  \"trials_per_fault_count\": %d,\n\
+    \  \"total_trials\": %d,\n\
+    \  \"ideal_trials_per_sec\": %.1f,\n\
+    \  \"noisy_trials_per_sec\": %.1f,\n\
+    \  \"legacy_trials_per_sec\": %.1f,\n\
+    \  \"speedup_ideal_vs_legacy\": %.2f,\n\
+    \  \"detection_counts_agree\": %b\n\
+     }\n"
+    suite.Pipeline.total trials total_trials ideal_tps noisy_tps legacy_tps
+    speedup agreement;
+  close_out oc;
+  Printf.printf "wrote BENCH_campaign.json\n";
+  agreement
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -470,10 +572,19 @@ let micro () =
         Test.make ~name:"search/cut-path-10x10"
           (Staged.stage (fun () ->
                ignore (Path_search.find cut_prob ~weight:cut_weight)));
-        Test.make ~name:"sim/pressure-bfs-20x20"
+        Test.make ~name:"sim/pressure-bfs-spec-20x20"
           (Staged.stage (fun () ->
                ignore
-                 (Graph.pressurized_sinks grid20 ~open_edge:(fun _ -> true))));
+                 (Graph.pressurized_sinks_spec grid20
+                    ~open_edge:(fun _ -> true))));
+        (let comp = Compiled.get grid20 in
+         let scratch = Compiled.create_scratch comp in
+         let into = Array.make (Compiled.num_ports comp) false in
+         Test.make ~name:"sim/pressure-bfs-compiled-20x20"
+           (Staged.stage (fun () ->
+                Graph.pressurized_into comp scratch
+                  ~open_valve:(fun _ -> true)
+                  ~into)));
         Test.make ~name:"sim/apply-vector-20x20"
           (Staged.stage (fun () ->
                ignore
@@ -519,11 +630,14 @@ let () =
   | _ :: "ablation" :: _ -> ablation ()
   | _ :: "noise" :: _ -> ablation_noise ()
   | _ :: "extensions" :: _ -> extensions ()
+  | _ :: "campaign" :: rest ->
+    let trials = match rest with t :: _ -> int_of_string t | [] -> 10_000 in
+    if not (campaign_bench ~trials ()) then exit 1
   | _ :: "micro" :: _ -> micro ()
   | _ :: unknown :: _ ->
     Printf.eprintf
       "unknown experiment %S (try table1 | fig8 | fig9 | faults | ablation | \
-       noise | extensions | micro)\n"
+       noise | extensions | campaign | micro)\n"
       unknown;
     exit 2
   | [ _ ] | [] ->
@@ -533,4 +647,5 @@ let () =
     faults ~trials:2_000 ();
     ablation ();
     extensions ();
+    ignore (campaign_bench ~trials:2_000 ());
     micro ()

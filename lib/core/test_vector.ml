@@ -14,12 +14,11 @@ type t = {
 }
 
 let golden_response fpva ~open_valves =
-  let open_edge e =
-    match Fpva.valve_id_opt fpva e with
-    | Some vid -> open_valves.(vid)
-    | None -> true (* only called for traversable edges *)
-  in
-  Graph.pressurized_sinks fpva ~open_edge
+  (* The CSR arc slots carry valve ids directly, so the state array is the
+     passability predicate — no edge-to-id lookups on the hot path. *)
+  let comp = Compiled.get fpva in
+  Graph.pressurized_sinks_c comp (Compiled.default_scratch comp)
+    ~open_valve:(fun vid -> open_valves.(vid))
 
 let states_of_open_list fpva valve_ids =
   let states = Array.make (Fpva.num_valves fpva) false in

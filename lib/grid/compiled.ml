@@ -1,0 +1,153 @@
+type scratch = {
+  queue : int array;
+  seen : int array;
+  mutable gen : int;
+}
+
+type t = {
+  fpva : Fpva.t;
+  num_cells : int;
+  num_ports : int;
+  num_nodes : int;
+  num_valves : int;
+  adj_off : int array;
+  adj_node : int array;
+  adj_edge : int array;
+  valve_edges : Coord.edge array;
+  source_nodes : int array;
+  sink_ports : int array;
+  sink_node_mask : bool array;
+  mutable owned_scratch : scratch option;
+}
+
+(* Directed arcs, emitted in a fixed order so the two CSR passes (degree
+   count, slot fill) agree: cell-cell arcs row-major with the source cell,
+   then the port tube arcs.  Emitting each unordered connection once per
+   direction keeps the representation symmetric by construction. *)
+let iter_arcs fpva ~rows ~cols ~num_cells ~ports emit =
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let cell = Coord.cell r c in
+      if Fpva.cell_state fpva cell = Fpva.Fluid then
+        List.iter
+          (fun d ->
+            let n = Coord.move cell d in
+            if Fpva.in_bounds fpva n && Fpva.cell_state fpva n = Fpva.Fluid
+            then begin
+              let e = Coord.edge_towards cell d in
+              let target = (n.Coord.row * cols) + n.Coord.col in
+              match Fpva.edge_state fpva e with
+              | Fpva.Wall -> ()
+              | Fpva.Open_channel -> emit ((r * cols) + c) target (-1)
+              | Fpva.Valve ->
+                emit ((r * cols) + c) target (Fpva.valve_id fpva e)
+            end)
+          Coord.all_dirs
+    done
+  done;
+  Array.iteri
+    (fun i p ->
+      let c = Fpva.port_cell fpva p in
+      let cn = (c.Coord.row * cols) + c.Coord.col in
+      emit (num_cells + i) cn (-1);
+      emit cn (num_cells + i) (-1))
+    ports
+
+let of_fpva fpva =
+  let rows = Fpva.rows fpva and cols = Fpva.cols fpva in
+  let num_cells = rows * cols in
+  let ports = Fpva.ports fpva in
+  let num_ports = Array.length ports in
+  let num_nodes = num_cells + num_ports in
+  let iter_arcs emit = iter_arcs fpva ~rows ~cols ~num_cells ~ports emit in
+  let adj_off = Array.make (num_nodes + 1) 0 in
+  iter_arcs (fun u _ _ -> adj_off.(u + 1) <- adj_off.(u + 1) + 1);
+  for i = 1 to num_nodes do
+    adj_off.(i) <- adj_off.(i) + adj_off.(i - 1)
+  done;
+  let total = adj_off.(num_nodes) in
+  let adj_node = Array.make (max total 1) 0 in
+  let adj_edge = Array.make (max total 1) (-1) in
+  let cursor = Array.sub adj_off 0 num_nodes in
+  iter_arcs (fun u v e ->
+      let k = cursor.(u) in
+      adj_node.(k) <- v;
+      adj_edge.(k) <- e;
+      cursor.(u) <- k + 1);
+  let source_nodes = ref [] in
+  let sink_ports = ref [] in
+  let sink_node_mask = Array.make num_nodes false in
+  Array.iteri
+    (fun i p ->
+      match p.Fpva.kind with
+      | Fpva.Source -> source_nodes := (num_cells + i) :: !source_nodes
+      | Fpva.Sink ->
+        sink_ports := i :: !sink_ports;
+        sink_node_mask.(num_cells + i) <- true)
+    ports;
+  {
+    fpva;
+    num_cells;
+    num_ports;
+    num_nodes;
+    num_valves = Fpva.num_valves fpva;
+    adj_off;
+    adj_node;
+    adj_edge;
+    valve_edges = Fpva.valves fpva;
+    source_nodes = Array.of_list (List.rev !source_nodes);
+    sink_ports = Array.of_list (List.rev !sink_ports);
+    sink_node_mask;
+    owned_scratch = None;
+  }
+
+type Fpva.derived += Compiled of t
+
+let get fpva =
+  match Fpva.derived fpva with
+  | Some (Compiled c) -> c
+  | Some _ | None ->
+    let c = of_fpva fpva in
+    Fpva.set_derived fpva (Some (Compiled c));
+    c
+
+let fpva t = t.fpva
+
+let num_cells t = t.num_cells
+
+let num_ports t = t.num_ports
+
+let num_nodes t = t.num_nodes
+
+let num_valves t = t.num_valves
+
+let cell_node t (c : Coord.cell) = (c.Coord.row * Fpva.cols t.fpva) + c.Coord.col
+
+let port_node t i = t.num_cells + i
+
+let adj_off t = t.adj_off
+
+let adj_node t = t.adj_node
+
+let adj_edge t = t.adj_edge
+
+let valve_edge t i = t.valve_edges.(i)
+
+let source_nodes t = t.source_nodes
+
+let sink_ports t = t.sink_ports
+
+let sink_node_mask t = t.sink_node_mask
+
+let create_scratch t =
+  { queue = Array.make (max t.num_nodes 1) 0;
+    seen = Array.make (max t.num_nodes 1) 0;
+    gen = 0 }
+
+let default_scratch t =
+  match t.owned_scratch with
+  | Some s -> s
+  | None ->
+    let s = create_scratch t in
+    t.owned_scratch <- Some s;
+    s

@@ -1,0 +1,104 @@
+(** Compiled flat-grid core: one-time CSR adjacency over dense node ids.
+
+    A chip layout is static while vectors are applied, yet the polymorphic
+    {!Graph} view re-derives adjacency on every node visit — a fresh list
+    per neighbour query and an O(ports) rescan per cell.  [Compiled.t]
+    pays those costs once per layout: every node gets a dense integer id
+    (cells first, row-major, then ports), and adjacency is stored as the
+    classic compressed-sparse-row triplet
+
+    - [adj_off]: per node, the offset of its arc slice ([num_nodes + 1]
+      entries, monotone, [adj_off.(0) = 0]);
+    - [adj_node]: the target node of each directed arc;
+    - [adj_edge]: the valve id crossed by the arc, or [-1] when the arc
+      needs no permission (an open channel or the port–cell tube).
+
+    Arcs exist only where the legacy view would traverse: between adjacent
+    fluid cells whose shared edge is not a wall, and between a port and
+    its boundary cell (both directions, so cell–cell and port–cell arcs
+    are always symmetric).  Whether a valve arc is passable is the {e
+    caller's} decision at traversal time — the compiled form is valid for
+    every valve-state assignment, which is what lets one compilation serve
+    a whole fault-injection campaign.
+
+    Traversals live in {!Graph} ([pressurized_sinks_c] and friends); this
+    module owns construction, the per-layout cache, and the reusable
+    scratch buffers that make a BFS allocation-free. *)
+
+type t
+
+val of_fpva : Fpva.t -> t
+(** Compile the layout (unconditionally). *)
+
+val get : Fpva.t -> t
+(** The compiled form of a layout, cached on the [Fpva.t] itself and
+    invalidated by every layout mutation — repeated calls between
+    mutations return the same compilation (physical equality). *)
+
+val fpva : t -> Fpva.t
+(** The layout this compilation was built from. *)
+
+(** {2 Dimensions and id layout} *)
+
+val num_cells : t -> int
+(** [rows * cols]; obstacle cells keep their id but have no arcs. *)
+
+val num_ports : t -> int
+
+val num_nodes : t -> int
+(** [num_cells + num_ports]. *)
+
+val num_valves : t -> int
+
+val cell_node : t -> Coord.cell -> int
+(** Row-major cell id: [row * cols + col]. *)
+
+val port_node : t -> int -> int
+(** Node id of port [i] (as indexed by [Fpva.ports]): [num_cells + i]. *)
+
+(** {2 CSR adjacency} *)
+
+val adj_off : t -> int array
+
+val adj_node : t -> int array
+
+val adj_edge : t -> int array
+(** Valve id of the arc's edge, [-1] for open channels and port hops. *)
+
+val valve_edge : t -> int -> Coord.edge
+(** The primal edge of a valve id (precomputed [Fpva.edge_of_valve]). *)
+
+(** {2 Precomputed role sets} *)
+
+val source_nodes : t -> int array
+(** Node ids of source ports, in port order. *)
+
+val sink_ports : t -> int array
+(** Port indices (not node ids) of sink ports, in port order. *)
+
+val sink_node_mask : t -> bool array
+(** Per node id: is it a sink-port node?  (Early-exit test for
+    separation checks.) *)
+
+(** {2 Scratch buffers}
+
+    A BFS needs a worklist and a visited set.  [scratch] holds both as
+    flat int arrays sized to the node count; the visited set is
+    generation-stamped, so reusing a scratch across traversals costs one
+    integer bump instead of an O(nodes) clear, and a traversal allocates
+    nothing.  A scratch is tied to the compilation it was created from
+    and must not be shared across concurrently running traversals. *)
+
+type scratch = {
+  queue : int array;  (** BFS worklist, capacity [num_nodes] *)
+  seen : int array;  (** generation stamps, length [num_nodes] *)
+  mutable gen : int;  (** current generation; bumped per traversal *)
+}
+
+val create_scratch : t -> scratch
+
+val default_scratch : t -> scratch
+(** A scratch owned by the compilation itself, created lazily and reused
+    by the polymorphic {!Graph} wrappers.  Fine for the common
+    sequential case; callers running traversals from within a traversal
+    callback must {!create_scratch} their own. *)

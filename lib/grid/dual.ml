@@ -130,6 +130,15 @@ let cut_of_corner_path t path =
   walk [] path
 
 let is_cut t closed =
-  let tbl = Hashtbl.create 32 in
-  List.iter (fun e -> Hashtbl.replace tbl e ()) closed;
-  Graph.separates t ~closed_edge:(fun e -> Hashtbl.mem tbl e)
+  (* Closing a non-valve edge is a no-op in the graph view (only valve
+     edges consult the predicate), so a valve-id mask loses nothing. *)
+  let comp = Compiled.get t in
+  let mask = Array.make (max (Compiled.num_valves comp) 1) false in
+  List.iter
+    (fun e ->
+      match Fpva.valve_id_opt t e with
+      | Some v -> mask.(v) <- true
+      | None -> ())
+    closed;
+  Graph.separates_c comp (Compiled.default_scratch comp)
+    ~closed_valve:(fun v -> mask.(v))

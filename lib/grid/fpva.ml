@@ -8,6 +8,8 @@ type port_kind = Source | Sink
 
 type port = { side : Coord.dir; offset : int; kind : port_kind }
 
+type derived = ..
+
 type t = {
   rows : int;
   cols : int;
@@ -16,6 +18,7 @@ type t = {
   south : edge_state array;  (* (rows-1) x cols: S(r,c) at r*cols+c *)
   ports : port Vec.t;
   mutable valve_cache : (Coord.edge array * (Coord.edge, int) Hashtbl.t) option;
+  mutable derived_cache : derived option;
 }
 
 let create ~rows ~cols =
@@ -28,7 +31,12 @@ let create ~rows ~cols =
     south = Array.make (max 0 (rows - 1) * cols) Valve;
     ports = Vec.create ();
     valve_cache = None;
+    derived_cache = None;
   }
+
+let derived t = t.derived_cache
+
+let set_derived t d = t.derived_cache <- d
 
 let rows t = t.rows
 
@@ -63,7 +71,8 @@ let set_edge t e st =
     invalid_arg "Fpva.set_edge: edge touches an obstacle (permanently Wall)";
   let arr, i = edge_slot t e in
   arr.(i) <- st;
-  t.valve_cache <- None
+  t.valve_cache <- None;
+  t.derived_cache <- None
 
 let set_obstacle t c =
   if not (in_bounds t c) then invalid_arg "Fpva.set_obstacle";
@@ -76,7 +85,8 @@ let set_obstacle t c =
     end
   in
   List.iter seal Coord.all_dirs;
-  t.valve_cache <- None
+  t.valve_cache <- None;
+  t.derived_cache <- None
 
 let port_cell t p =
   match p.side with
@@ -92,7 +102,9 @@ let add_port t p =
     invalid_arg "Fpva.add_port: port cell is an obstacle";
   if Vec.exists (fun q -> q = p) t.ports then
     invalid_arg "Fpva.add_port: duplicate port";
-  Vec.push t.ports p
+  Vec.push t.ports p;
+  (* Ports add graph nodes even though the valve numbering is untouched. *)
+  t.derived_cache <- None
 
 let ports t = Vec.to_array t.ports
 
@@ -224,4 +236,5 @@ let copy t =
     south = Array.copy t.south;
     ports = Vec.copy t.ports;
     valve_cache = None;
+    derived_cache = None;
   }

@@ -107,3 +107,18 @@ val fluid_cells : t -> Coord.cell list
 
 val copy : t -> t
 (** Deep copy (ports included). *)
+
+(** {2 Derived-structure cache (internal)}
+
+    Hook for expensive structures derived from the layout (the compiled
+    CSR adjacency of {!Compiled}).  The cache is invalidated by every
+    mutation ({!set_edge}, {!set_obstacle}, {!add_port}) and never copied
+    by {!copy}, so a cached value is always consistent with the layout it
+    was built from.  The variant is extensible so this module needs no
+    dependency on the modules that define the derived structures. *)
+
+type derived = ..
+
+val derived : t -> derived option
+
+val set_derived : t -> derived option -> unit

@@ -25,12 +25,14 @@ let cell_neighbors t ~open_edge c =
   in
   List.fold_left step [] Coord.all_dirs
 
-let ports_at t c =
+let ports_of_cell t ports c =
   let out = ref [] in
   Array.iteri
     (fun i p -> if Fpva.port_cell t p = c then out := (Port i, None) :: !out)
-    (Fpva.ports t);
+    ports;
   !out
+
+let ports_at t c = ports_of_cell t (Fpva.ports t) c
 
 let neighbors t ~open_edge = function
   | Port i ->
@@ -38,10 +40,18 @@ let neighbors t ~open_edge = function
     [ (Cell (Fpva.port_cell t p), None) ]
   | Cell c -> cell_neighbors t ~open_edge c @ ports_at t c
 
-(* BFS over at most rows*cols + #ports nodes. *)
-let bfs t ~open_edge ~from =
-  let nr = Fpva.rows t and nc = Fpva.cols t in
-  let nports = Array.length (Fpva.ports t) in
+(* ------------------------------------------------------------------ *)
+(* Reference (specification) traversal                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* BFS over at most rows*cols + #ports nodes.  This is the executable
+   specification the compiled path is differentially tested against; the
+   production traversals below run over the CSR form. *)
+let bfs_spec t ~open_edge ~from =
+  let nc = Fpva.cols t in
+  let nr = Fpva.rows t in
+  let ports = Fpva.ports t in
+  let nports = Array.length ports in
   let seen_cell = Array.make (nr * nc) false in
   let seen_port = Array.make (max nports 1) false in
   let mark = function
@@ -59,6 +69,10 @@ let bfs t ~open_edge ~from =
         false
       end
   in
+  let neighbors = function
+    | Port i -> [ (Cell (Fpva.port_cell t ports.(i)), None) ]
+    | Cell c -> cell_neighbors t ~open_edge c @ ports_of_cell t ports c
+  in
   let queue = Queue.create () in
   List.iter
     (fun n -> if not (mark n) then Queue.add n queue)
@@ -67,12 +81,12 @@ let bfs t ~open_edge ~from =
     let n = Queue.pop queue in
     List.iter
       (fun (m, _) -> if not (mark m) then Queue.add m queue)
-      (neighbors t ~open_edge n)
+      (neighbors n)
   done;
   (seen_cell, seen_port)
 
-let reachable t ~open_edge ~from n =
-  let seen_cell, seen_port = bfs t ~open_edge ~from in
+let reachable_spec t ~open_edge ~from n =
+  let seen_cell, seen_port = bfs_spec t ~open_edge ~from in
   match n with
   | Cell c -> seen_cell.((c.Coord.row * Fpva.cols t) + c.Coord.col)
   | Port i -> seen_port.(i)
@@ -84,15 +98,119 @@ let source_nodes t =
     (Fpva.ports t);
   !out
 
-let pressurized_sinks t ~open_edge =
-  let _, seen_port = bfs t ~open_edge ~from:(source_nodes t) in
-  Array.mapi (fun i _ -> seen_port.(i)) (Fpva.ports t)
+let pressurized_sinks_spec t ~open_edge =
+  let _, seen_port = bfs_spec t ~open_edge ~from:(source_nodes t) in
+  Array.sub seen_port 0 (Array.length (Fpva.ports t))
 
-let separates t ~closed_edge =
+let separates_spec t ~closed_edge =
   let open_edge e = not (closed_edge e) in
-  let pressure = pressurized_sinks t ~open_edge in
+  let pressure = pressurized_sinks_spec t ~open_edge in
+  let ports = Fpva.ports t in
   let ok = ref true in
   Array.iteri
     (fun i p -> if p.Fpva.kind = Fpva.Sink && pressure.(i) then ok := false)
-    (Fpva.ports t);
+    ports;
   !ok
+
+(* ------------------------------------------------------------------ *)
+(* Compiled traversal                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let node_id comp = function
+  | Cell c -> Compiled.cell_node comp c
+  | Port i -> Compiled.port_node comp i
+
+(* The one BFS engine: flat int worklist, generation-stamped visited set,
+   zero allocation.  [stop] is tested on every newly marked node; once it
+   holds the traversal halts early (marks made so far stay valid).
+   Returns the id of the node that triggered [stop], or -1. *)
+let run_bfs comp (s : Compiled.scratch) ~open_valve ~sources ~stop =
+  let off = Compiled.adj_off comp in
+  let nodes = Compiled.adj_node comp in
+  let edges = Compiled.adj_edge comp in
+  s.Compiled.gen <- s.Compiled.gen + 1;
+  let g = s.Compiled.gen in
+  let seen = s.Compiled.seen and queue = s.Compiled.queue in
+  let head = ref 0 and tail = ref 0 in
+  let hit = ref (-1) in
+  let mark n =
+    if seen.(n) <> g then begin
+      seen.(n) <- g;
+      if stop n then hit := n
+      else begin
+        queue.(!tail) <- n;
+        incr tail
+      end
+    end
+  in
+  Array.iter mark sources;
+  while !hit < 0 && !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for k = off.(u) to off.(u + 1) - 1 do
+      if !hit < 0 then begin
+        let v = nodes.(k) in
+        if seen.(v) <> g then begin
+          let e = edges.(k) in
+          if e < 0 || open_valve e then mark v
+        end
+      end
+    done
+  done;
+  !hit
+
+let never_stop _ = false
+
+let pressurized_into comp scratch ~open_valve ~into =
+  ignore
+    (run_bfs comp scratch ~open_valve ~sources:(Compiled.source_nodes comp)
+       ~stop:never_stop);
+  let seen = scratch.Compiled.seen and g = scratch.Compiled.gen in
+  let base = Compiled.num_cells comp in
+  for i = 0 to Compiled.num_ports comp - 1 do
+    into.(i) <- seen.(base + i) = g
+  done
+
+let pressurized_sinks_c comp scratch ~open_valve =
+  let into = Array.make (Compiled.num_ports comp) false in
+  pressurized_into comp scratch ~open_valve ~into;
+  into
+
+let separates_c comp scratch ~closed_valve =
+  let mask = Compiled.sink_node_mask comp in
+  let open_valve v = not (closed_valve v) in
+  run_bfs comp scratch ~open_valve ~sources:(Compiled.source_nodes comp)
+    ~stop:(fun n -> mask.(n))
+  < 0
+
+let reachable_c comp scratch ~open_valve ~from target =
+  (* Seed nodes are marked before the stop test runs on them, so a target
+     that is itself a seed is found without expanding anything. *)
+  run_bfs comp scratch ~open_valve ~sources:from ~stop:(fun n -> n = target)
+  >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Polymorphic API: thin wrappers that compile on demand               *)
+(* ------------------------------------------------------------------ *)
+
+(* The edge predicates of the polymorphic API are only ever consulted on
+   valve edges (open channels pass and walls block unconditionally), so
+   restricting them to valve ids loses nothing. *)
+let open_valve_of_pred comp open_edge v = open_edge (Compiled.valve_edge comp v)
+
+let reachable t ~open_edge ~from n =
+  let comp = Compiled.get t in
+  let from = Array.of_list (List.map (node_id comp) from) in
+  reachable_c comp (Compiled.default_scratch comp)
+    ~open_valve:(open_valve_of_pred comp open_edge)
+    ~from (node_id comp n)
+
+let pressurized_sinks t ~open_edge =
+  let comp = Compiled.get t in
+  pressurized_sinks_c comp (Compiled.default_scratch comp)
+    ~open_valve:(open_valve_of_pred comp open_edge)
+
+let separates t ~closed_edge =
+  let comp = Compiled.get t in
+  separates_c comp (Compiled.default_scratch comp)
+    ~closed_valve:(fun v -> closed_edge (Compiled.valve_edge comp v))

@@ -3,7 +3,20 @@
     Used by the pressure simulator (source reachability = pressure) and by
     the test generators (path existence, cut verification).  Edge
     passability is a parameter: callers decide which valves count as open
-    — nominal states for generation, faulty states for simulation. *)
+    — nominal states for generation, faulty states for simulation.
+
+    Two traversal paths coexist:
+
+    - the {e compiled} path ([*_c] functions) runs over the CSR adjacency
+      of {!Compiled} with caller-reusable scratch buffers and allocates
+      nothing per BFS — this is what the simulator and campaign layers
+      use, and what the polymorphic wrappers below delegate to;
+    - the {e specification} path ([*_spec] functions) is the direct
+      node-by-node traversal kept as the executable reference; the
+      compiled path is differentially tested against it
+      (test/suite_props.ml).
+
+    Both compute the same reachability sets; only cost differs. *)
 
 type node = Cell of Coord.cell | Port of int  (** index into [Fpva.ports] *)
 
@@ -19,10 +32,17 @@ val neighbors :
     the internal edge between them, the far cell fluid, and is annotated
     with that edge. *)
 
+(** {2 Polymorphic API (compiles on demand)}
+
+    These wrappers fetch the cached {!Compiled.t} of the layout (building
+    it on first use) and run the compiled traversal.  The predicates are
+    consulted on valve edges only: open channels are always passable and
+    walls never are, exactly as in the specification path. *)
+
 val reachable :
   Fpva.t -> open_edge:(Coord.edge -> bool) -> from:node list -> node -> bool
 (** [reachable t ~open_edge ~from n] — is [n] reachable from any node of
-    [from]?  (BFS; O(cells).) *)
+    [from]?  (BFS with early exit: stops as soon as [n] is marked.) *)
 
 val pressurized_sinks :
   Fpva.t -> open_edge:(Coord.edge -> bool) -> bool array
@@ -33,4 +53,41 @@ val pressurized_sinks :
 val separates : Fpva.t -> closed_edge:(Coord.edge -> bool) -> bool
 (** [separates t ~closed_edge] — with exactly the edges for which
     [closed_edge] holds impassable (in addition to walls), is every sink
-    disconnected from every source? *)
+    disconnected from every source?  (Early exit on the first sink
+    reached.) *)
+
+(** {2 Compiled traversals}
+
+    Valve passability is given per valve {e id} ([open_valve]), matching
+    the [adj_edge] slots of the CSR form — no edge values are
+    materialised on the hot path.  All functions reuse the given scratch
+    and allocate nothing per call (except [pressurized_sinks_c]'s small
+    result array; use {!pressurized_into} to avoid even that). *)
+
+val node_id : Compiled.t -> node -> int
+
+val pressurized_into :
+  Compiled.t -> Compiled.scratch -> open_valve:(int -> bool) ->
+  into:bool array -> unit
+(** Write per-port pressure into [into] (length ≥ [num_ports]). *)
+
+val pressurized_sinks_c :
+  Compiled.t -> Compiled.scratch -> open_valve:(int -> bool) -> bool array
+
+val separates_c :
+  Compiled.t -> Compiled.scratch -> closed_valve:(int -> bool) -> bool
+
+val reachable_c :
+  Compiled.t -> Compiled.scratch -> open_valve:(int -> bool) ->
+  from:int array -> int -> bool
+
+(** {2 Specification traversals (reference implementations)} *)
+
+val reachable_spec :
+  Fpva.t -> open_edge:(Coord.edge -> bool) -> from:node list -> node -> bool
+(** Exhaustive-BFS reference for {!reachable} (no early exit). *)
+
+val pressurized_sinks_spec :
+  Fpva.t -> open_edge:(Coord.edge -> bool) -> bool array
+
+val separates_spec : Fpva.t -> closed_edge:(Coord.edge -> bool) -> bool

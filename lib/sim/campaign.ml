@@ -52,6 +52,10 @@ let draw_faults rng fpva ~classes ~count =
 let run ?(config = default_config) fpva ~vectors =
   let t0 = Fpva_util.Timer.now () in
   let rng = Rng.create config.seed in
+  (* One compiled handle serves every trial of the campaign; re-deriving
+     adjacency per application was the dominating cost of the paper's
+     10 000-trial experiment. *)
+  let h = Simulator.make fpva in
   let rows =
     List.map
       (fun fault_count ->
@@ -64,7 +68,7 @@ let run ?(config = default_config) fpva ~vectors =
           let rec scan i = function
             | [] -> None
             | v :: rest ->
-              if Simulator.detects fpva ~faults v then Some i
+              if Simulator.detects_h h ~faults v then Some i
               else scan (i + 1) rest
           in
           scan 1 vectors
@@ -172,6 +176,7 @@ let run_noisy ?(config = default_noise_config) fpva ~vectors =
   let t0 = Fpva_util.Timer.now () in
   let base = config.base in
   let policy = Retest.policy config.repeats in
+  let h = Simulator.make fpva in
   let rows =
     List.concat_map
       (fun noise ->
@@ -192,7 +197,7 @@ let run_noisy ?(config = default_noise_config) fpva ~vectors =
               incr slots;
               let verdict =
                 Retest.apply policy ~read:(fun _ ->
-                    Measurement.detects meter meter_rng fpva ~faults v)
+                    Measurement.detects_h meter meter_rng h ~faults v)
               in
               reads := !reads + verdict.Retest.reads;
               if verdict.Retest.failed then true else scan rest

@@ -13,16 +13,21 @@ let single_faults fpva =
     (fun v -> [ Fault.Stuck_at_0 v; Fault.Stuck_at_1 v ])
     (List.init nv (fun v -> v))
 
-let syndrome_of fpva ~vectors ~faults =
+let syndrome_of_h h ~vectors ~faults =
   Array.of_list
-    (List.map (fun v -> Simulator.detects fpva ~faults v) vectors)
+    (List.map (fun v -> Simulator.detects_h h ~faults v) vectors)
+
+let syndrome_of fpva ~vectors ~faults =
+  syndrome_of_h (Simulator.make fpva) ~vectors ~faults
 
 let build fpva ~vectors ~faults =
+  (* One compiled handle serves the whole fault-universe sweep. *)
+  let h = Simulator.make fpva in
   let vecs = Array.of_list vectors in
   let entries =
     Array.of_list
       (List.map
-         (fun f -> (f, syndrome_of fpva ~vectors ~faults:[ f ]))
+         (fun f -> (f, syndrome_of_h h ~vectors ~faults:[ f ]))
          faults)
   in
   { vectors = vecs; entries }
@@ -141,8 +146,9 @@ let resolution dict =
   Fpva_util.Stats.ratio classes faults
 
 let distinguishing_vector fpva vectors f1 f2 =
+  let h = Simulator.make fpva in
   List.find_opt
     (fun v ->
-      Simulator.detects fpva ~faults:[ f1 ] v
-      <> Simulator.detects fpva ~faults:[ f2 ] v)
+      Simulator.detects_h h ~faults:[ f1 ] v
+      <> Simulator.detects_h h ~faults:[ f2 ] v)
     vectors

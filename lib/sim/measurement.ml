@@ -51,10 +51,16 @@ let observe m rng ~golden ~actual =
       then golden.(i)
       else a)
 
-let apply_vector m rng fpva ~faults v =
+let apply_vector_h m rng h ~faults v =
   let faults = Fault.resolve rng faults in
-  let actual = Simulator.apply_vector fpva ~faults v in
+  let actual = Simulator.apply_vector_h h ~faults v in
   observe m rng ~golden:v.Tv.golden ~actual
+
+let detects_h m rng h ~faults v =
+  apply_vector_h m rng h ~faults v <> v.Tv.golden
+
+let apply_vector m rng fpva ~faults v =
+  apply_vector_h m rng (Simulator.make fpva) ~faults v
 
 let detects m rng fpva ~faults v =
   apply_vector m rng fpva ~faults v <> v.Tv.golden

@@ -50,6 +50,17 @@ val apply_vector :
 (** Noisy observed response: resolve intermittent faults for this
     application, simulate the physical response, then {!observe} it. *)
 
+val apply_vector_h :
+  t -> Fpva_util.Rng.t -> Simulator.handle -> faults:Fault.t list ->
+  Fpva_testgen.Test_vector.t -> bool array
+(** As {!apply_vector}, but over a prebuilt {!Simulator.handle} so sweeps
+    reuse one compilation and one set of simulation buffers.  Draws from
+    the stream in exactly the same order as {!apply_vector}. *)
+
+val detects_h :
+  t -> Fpva_util.Rng.t -> Simulator.handle -> faults:Fault.t list ->
+  Fpva_testgen.Test_vector.t -> bool
+
 val detects :
   t -> Fpva_util.Rng.t -> Fpva.t -> faults:Fault.t list ->
   Fpva_testgen.Test_vector.t -> bool

@@ -1,7 +1,7 @@
 open Fpva_grid
 module Tv = Fpva_testgen.Test_vector
 
-let effective_states fpva ~faults ~open_valves =
+let effective_states_into fpva ~faults ~open_valves states =
   let nv = Fpva.num_valves fpva in
   if Array.length open_valves <> nv then
     invalid_arg "Simulator.effective_states";
@@ -10,7 +10,7 @@ let effective_states fpva ~faults ~open_valves =
      live in [Measurement.apply_vector], which resolves wrappers before
      calling down here. *)
   let faults = List.map Fault.underlying faults in
-  let states = Array.copy open_valves in
+  Array.blit open_valves 0 states 0 nv;
   (* Control leaks first: an actuated (commanded-closed) aggressor drags its
      victim closed.  Leak chains propagate (a->b, b->c): iterate to a fixed
      point; the commanded state of the aggressor is what actuates the leak,
@@ -41,29 +41,77 @@ let effective_states fpva ~faults ~open_valves =
       match f with
       | Fault.Stuck_at_0 v -> states.(v) <- false
       | Fault.Stuck_at_1 _ | Fault.Control_leak _ | Fault.Intermittent _ -> ())
-    faults;
+    faults
+
+let effective_states fpva ~faults ~open_valves =
+  let states = Array.make (Array.length open_valves) false in
+  effective_states_into fpva ~faults ~open_valves states;
   states
 
+(* ---------- compiled simulation handle ---------- *)
+
+(* One handle per run: the compiled CSR adjacency plus the scratch and
+   result buffers every vector application reuses, so a whole campaign
+   allocates nothing per trial beyond its fault draws. *)
+type handle = {
+  h_fpva : Fpva.t;
+  comp : Compiled.t;
+  scratch : Compiled.scratch;
+  states : bool array;  (* effective valve states, length num_valves *)
+  obs : bool array;  (* port observation buffer, length num_ports *)
+}
+
+let make fpva =
+  let comp = Compiled.get fpva in
+  { h_fpva = fpva;
+    comp;
+    scratch = Compiled.create_scratch comp;
+    states = Array.make (Compiled.num_valves comp) false;
+    obs = Array.make (Compiled.num_ports comp) false }
+
+let handle_fpva h = h.h_fpva
+
+(* Simulate into the handle's observation buffer; callers must consume it
+   before the next application on the same handle. *)
+let respond h ~faults ~open_valves =
+  effective_states_into h.h_fpva ~faults ~open_valves h.states;
+  let states = h.states in
+  Graph.pressurized_into h.comp h.scratch
+    ~open_valve:(fun vid -> states.(vid))
+    ~into:h.obs
+
+let response_h h ~faults ~open_valves =
+  respond h ~faults ~open_valves;
+  Array.copy h.obs
+
+let apply_vector_h h ~faults (v : Tv.t) =
+  response_h h ~faults ~open_valves:v.Tv.open_valves
+
+let detects_h h ~faults (v : Tv.t) =
+  respond h ~faults ~open_valves:v.Tv.open_valves;
+  h.obs <> v.Tv.golden
+
+let detected_by_suite_h h ~faults suite =
+  List.exists (fun v -> detects_h h ~faults v) suite
+
+let first_detecting_h h ~faults suite =
+  List.find_opt (fun v -> detects_h h ~faults v) suite
+
+(* ---------- per-call wrappers ---------- *)
+
 let response fpva ~faults ~open_valves =
-  let states = effective_states fpva ~faults ~open_valves in
-  let open_edge e =
-    match Fpva.valve_id_opt fpva e with
-    | Some vid -> states.(vid)
-    | None -> true
-  in
-  Graph.pressurized_sinks fpva ~open_edge
+  response_h (make fpva) ~faults ~open_valves
 
 let apply_vector fpva ~faults (v : Tv.t) =
-  response fpva ~faults ~open_valves:v.Tv.open_valves
+  apply_vector_h (make fpva) ~faults v
 
-let detects fpva ~faults (v : Tv.t) =
-  apply_vector fpva ~faults v <> v.Tv.golden
+let detects fpva ~faults (v : Tv.t) = detects_h (make fpva) ~faults v
 
 let detected_by_suite fpva ~faults suite =
-  List.exists (fun v -> detects fpva ~faults v) suite
+  detected_by_suite_h (make fpva) ~faults suite
 
 let first_detecting fpva ~faults suite =
-  List.find_opt (fun v -> detects fpva ~faults v) suite
+  first_detecting_h (make fpva) ~faults suite
 
 (* Tailored probes: for each fault, synthesise the vector family that would
    expose it on a fault-free-except-this chip, then check whether any member
@@ -129,4 +177,5 @@ let rec probes_for fpva fault =
 
 let detectable fpva ~faults =
   let probes = List.concat_map (probes_for fpva) faults in
-  List.exists (fun p -> detects fpva ~faults p) probes
+  let h = make fpva in
+  List.exists (fun p -> detects_h h ~faults p) probes

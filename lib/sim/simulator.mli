@@ -23,6 +23,47 @@ val effective_states :
     stuck-at-1 forces open, then stuck-at-0 forces closed; a valve that is
     both SA0 and SA1 reads as SA0 (it cannot be opened). *)
 
+(** {2 Compiled simulation handle}
+
+    A [handle] binds the chip's compiled CSR adjacency
+    ({!Fpva_grid.Compiled}) to reusable scratch and result buffers.
+    Build one per run (campaign, dictionary, sweep) and thread it through
+    every vector application: each application is then a single
+    allocation-free BFS.  The per-call functions below are wrappers that
+    make a throwaway handle — identical observable behaviour, just
+    without buffer reuse across calls. *)
+
+type handle
+
+val make : Fpva.t -> handle
+(** Compile (or fetch the cached compilation of) [fpva] and allocate the
+    handle's private buffers.  Cheap when the compilation is cached; a
+    handle must not be shared between interleaved simulations. *)
+
+val handle_fpva : handle -> Fpva.t
+
+val response_h :
+  handle -> faults:Fault.t list -> open_valves:bool array -> bool array
+
+val apply_vector_h :
+  handle -> faults:Fault.t list -> Fpva_testgen.Test_vector.t -> bool array
+
+val detects_h :
+  handle -> faults:Fault.t list -> Fpva_testgen.Test_vector.t -> bool
+(** Allocation-free: simulates into the handle's buffers and compares
+    against the vector's golden response in place. *)
+
+val detected_by_suite_h :
+  handle -> faults:Fault.t list -> Fpva_testgen.Test_vector.t list -> bool
+
+val first_detecting_h :
+  handle ->
+  faults:Fault.t list ->
+  Fpva_testgen.Test_vector.t list ->
+  Fpva_testgen.Test_vector.t option
+
+(** {2 Per-call API} *)
+
 val response :
   Fpva.t -> faults:Fault.t list -> open_valves:bool array -> bool array
 (** Port pressures (indexed like [Fpva.ports]) under the effective states. *)

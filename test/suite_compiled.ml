@@ -1,0 +1,190 @@
+(* CSR construction invariants of the compiled flat-grid core, plus the
+   cache discipline that keeps a compilation consistent with its layout. *)
+
+open Helpers
+open Fpva_grid
+
+(* Structural invariants every compilation must satisfy, asserted on both
+   fixed and random layouts. *)
+let check_invariants t =
+  let comp = Compiled.of_fpva t in
+  let n = Compiled.num_nodes comp in
+  let off = Compiled.adj_off comp in
+  let nodes = Compiled.adj_node comp in
+  let edges = Compiled.adj_edge comp in
+  let nv = Compiled.num_valves comp in
+  checki "num_nodes = cells + ports" n
+    (Compiled.num_cells comp + Compiled.num_ports comp);
+  checki "offset array arity" (n + 1) (Array.length off);
+  checki "offsets start at zero" 0 off.(0);
+  for i = 0 to n - 1 do
+    checkb "offsets monotone" true (off.(i) <= off.(i + 1))
+  done;
+  checkb "offsets end at the arc count" true
+    (off.(n) <= Array.length nodes && Array.length nodes = Array.length edges);
+  (* Every arc is in range and carries either -1 or a valid valve id. *)
+  for k = 0 to off.(n) - 1 do
+    checkb "arc target in range" true (nodes.(k) >= 0 && nodes.(k) < n);
+    checkb "arc edge slot in range" true
+      (edges.(k) >= -1 && edges.(k) < nv)
+  done;
+  (* Symmetry: arc u->v with slot e has a mirror v->u with the same slot. *)
+  let has_arc u v e =
+    let found = ref false in
+    for k = off.(u) to off.(u + 1) - 1 do
+      if nodes.(k) = v && edges.(k) = e then found := true
+    done;
+    !found
+  in
+  for u = 0 to n - 1 do
+    for k = off.(u) to off.(u + 1) - 1 do
+      checkb "arcs are symmetric" true (has_arc nodes.(k) u edges.(k))
+    done
+  done;
+  (* Each port node has degree exactly 1: the tube to its boundary cell. *)
+  let ports = Fpva.ports t in
+  Array.iteri
+    (fun i p ->
+      let pn = Compiled.port_node comp i in
+      checki "port degree 1" 1 (off.(pn + 1) - off.(pn));
+      let k = off.(pn) in
+      checki "port tube targets the boundary cell"
+        (Compiled.cell_node comp (Fpva.port_cell t p))
+        nodes.(k);
+      checki "port tube carries no valve" (-1) edges.(k))
+    ports;
+  (* Every valve between two fluid cells appears exactly twice (one arc per
+     direction); valve edges never touch obstacles, so that is all of them. *)
+  let uses = Array.make (max nv 1) 0 in
+  for k = 0 to off.(n) - 1 do
+    if edges.(k) >= 0 then uses.(edges.(k)) <- uses.(edges.(k)) + 1
+  done;
+  for v = 0 to nv - 1 do
+    checki (Printf.sprintf "valve %d appears twice" v) 2 uses.(v)
+  done;
+  (* Role sets match the port table. *)
+  let expect_sources =
+    ports |> Array.to_list
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter_map (fun (i, p) ->
+           if p.Fpva.kind = Fpva.Source then Some (Compiled.port_node comp i)
+           else None)
+  in
+  check
+    (Alcotest.list Alcotest.int)
+    "source nodes" expect_sources
+    (Array.to_list (Compiled.source_nodes comp));
+  let mask = Compiled.sink_node_mask comp in
+  Array.iteri
+    (fun i p ->
+      checkb "sink mask agrees with port kinds"
+        (p.Fpva.kind = Fpva.Sink)
+        mask.(Compiled.port_node comp i))
+    ports
+
+let construction_tests =
+  [
+    case "invariants on a full 4x5 with ports" (fun () ->
+        check_invariants (small_full_layout 4 5));
+    case "invariants on figure 9 (channels and obstacles)" (fun () ->
+        check_invariants (Layouts.figure9 ()));
+    case "obstacle cells keep their id but lose all arcs" (fun () ->
+        let t = small_full_layout 4 4 in
+        Fpva.set_obstacle t (Coord.cell 1 1);
+        let comp = Compiled.of_fpva t in
+        let ob = Compiled.cell_node comp (Coord.cell 1 1) in
+        let off = Compiled.adj_off comp in
+        checki "no outgoing arcs" 0 (off.(ob + 1) - off.(ob));
+        let nodes = Compiled.adj_node comp in
+        for k = 0 to off.(Compiled.num_nodes comp) - 1 do
+          checkb "no incoming arcs" true (nodes.(k) <> ob)
+        done;
+        check_invariants t);
+    qcheck_layout ~count:50 "invariants hold on random layouts" (fun t ->
+        check_invariants t;
+        true);
+  ]
+
+let cache_tests =
+  [
+    case "get is cached until the layout mutates" (fun () ->
+        let t = small_full_layout 3 3 in
+        let a = Compiled.get t in
+        checkb "same compilation" true (a == Compiled.get t);
+        Fpva.set_edge t (Coord.E (Coord.cell 0 0)) Fpva.Open_channel;
+        let b = Compiled.get t in
+        checkb "mutation invalidates" true (not (a == b));
+        checki "valve count tracks the mutation"
+          (Compiled.num_valves a - 1)
+          (Compiled.num_valves b));
+    case "adding a port invalidates the compilation" (fun () ->
+        let t = small_full_layout 3 3 in
+        let a = Compiled.get t in
+        Fpva.add_port t
+          { Fpva.side = Coord.North; offset = 1; kind = Fpva.Sink };
+        let b = Compiled.get t in
+        checkb "new compilation" true (not (a == b));
+        checki "one more node" (Compiled.num_nodes a + 1)
+          (Compiled.num_nodes b));
+    case "copy does not share the compilation" (fun () ->
+        let t = small_full_layout 3 3 in
+        let a = Compiled.get t in
+        let u = Fpva.copy t in
+        checkb "copy compiles afresh" true (not (a == Compiled.get u)));
+  ]
+
+let traversal_tests =
+  [
+    case "reachable stops early yet agrees with the spec" (fun () ->
+        let t = small_full_layout 3 4 in
+        Fpva.set_edge t (Coord.E (Coord.cell 1 1)) Fpva.Wall;
+        let from = [ Graph.Cell (Coord.cell 0 0) ] in
+        List.iter
+          (fun (target, open_edge) ->
+            checkb "wrapper agrees with spec"
+              (Graph.reachable_spec t ~open_edge ~from target)
+              (Graph.reachable t ~open_edge ~from target))
+          [ (Graph.Cell (Coord.cell 2 3), fun _ -> true);
+            (Graph.Cell (Coord.cell 2 3), fun _ -> false);
+            (Graph.Port 0, fun _ -> true);
+            (Graph.Cell (Coord.cell 0 0), fun _ -> false) ]);
+    case "scratch reuse across traversals is safe" (fun () ->
+        let t = small_full_layout 4 4 in
+        let comp = Compiled.get t in
+        let scratch = Compiled.create_scratch comp in
+        let all_open = Graph.pressurized_sinks_c comp scratch
+            ~open_valve:(fun _ -> true)
+        in
+        let all_closed = Graph.pressurized_sinks_c comp scratch
+            ~open_valve:(fun _ -> false)
+        in
+        let again = Graph.pressurized_sinks_c comp scratch
+            ~open_valve:(fun _ -> true)
+        in
+        check (Alcotest.array Alcotest.bool) "stamped generations isolate runs"
+          all_open again;
+        checkb "closed run saw the closures" true (all_open <> all_closed));
+    case "separates_c agrees with the spec on a hand cut" (fun () ->
+        let t = small_full_layout 3 3 in
+        let comp = Compiled.get t in
+        let cut_col = [ 0; 1; 2 ] |> List.map (fun r -> Coord.E (Coord.cell r 0)) in
+        let ids = List.filter_map (Fpva.valve_id_opt t) cut_col in
+        let mask = Array.make (Compiled.num_valves comp) false in
+        List.iter (fun v -> mask.(v) <- true) ids;
+        let closed_edge e =
+          match Fpva.valve_id_opt t e with
+          | Some v -> mask.(v)
+          | None -> false
+        in
+        checkb "spec separates" true (Graph.separates_spec t ~closed_edge);
+        checkb "compiled separates" true
+          (Graph.separates_c comp
+             (Compiled.create_scratch comp)
+             ~closed_valve:(fun v -> mask.(v)));
+        checkb "empty cut does not separate" false
+          (Graph.separates_c comp
+             (Compiled.create_scratch comp)
+             ~closed_valve:(fun _ -> false)));
+  ]
+
+let tests = construction_tests @ cache_tests @ traversal_tests

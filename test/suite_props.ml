@@ -6,8 +6,74 @@ open Fpva_grid
 open Fpva_testgen
 open Fpva_sim
 
+(* A random valve mask and the equivalent legacy edge predicate for the
+   compiled/specification differential properties below. *)
+let random_valve_mask rng t =
+  let nv = Fpva.num_valves t in
+  let mask = Array.init (max nv 1) (fun _ -> Fpva_util.Rng.bool rng) in
+  let edge_pred e =
+    match Fpva.valve_id_opt t e with
+    | Some v -> mask.(v)
+    | None -> false
+  in
+  (mask, edge_pred)
+
 let tests =
   [
+    qcheck_layout ~count:60 "compiled pressurized_sinks matches the spec"
+      (fun t ->
+        let rng = Fpva_util.Rng.create 23 in
+        let comp = Compiled.get t in
+        let scratch = Compiled.create_scratch comp in
+        let ok = ref true in
+        for _ = 1 to 8 do
+          let mask, edge_open = random_valve_mask rng t in
+          let legacy =
+            Graph.pressurized_sinks_spec t ~open_edge:edge_open
+          in
+          let compiled =
+            Graph.pressurized_sinks_c comp scratch
+              ~open_valve:(fun v -> mask.(v))
+          in
+          if legacy <> compiled then ok := false
+        done;
+        !ok);
+    qcheck_layout ~count:60 "compiled separates matches the spec" (fun t ->
+        let rng = Fpva_util.Rng.create 29 in
+        let comp = Compiled.get t in
+        let scratch = Compiled.create_scratch comp in
+        let ok = ref true in
+        for _ = 1 to 8 do
+          let mask, edge_closed = random_valve_mask rng t in
+          let legacy = Graph.separates_spec t ~closed_edge:edge_closed in
+          let compiled =
+            Graph.separates_c comp scratch ~closed_valve:(fun v -> mask.(v))
+          in
+          if legacy <> compiled then ok := false
+        done;
+        !ok);
+    qcheck_layout ~count:40 "compiled reachable matches the spec" (fun t ->
+        let rng = Fpva_util.Rng.create 31 in
+        let comp = Compiled.get t in
+        let scratch = Compiled.create_scratch comp in
+        let num_ports = Array.length (Fpva.ports t) in
+        let from = [ Graph.Port 0 ] in
+        let from_c = Array.map (Graph.node_id comp) (Array.of_list from) in
+        let ok = ref true in
+        for _ = 1 to 8 do
+          let mask, edge_open = random_valve_mask rng t in
+          let target = Graph.Port (Fpva_util.Rng.int rng num_ports) in
+          let legacy =
+            Graph.reachable_spec t ~open_edge:edge_open ~from target
+          in
+          let compiled =
+            Graph.reachable_c comp scratch
+              ~open_valve:(fun v -> mask.(v))
+              ~from:from_c (Graph.node_id comp target)
+          in
+          if legacy <> compiled then ok := false
+        done;
+        !ok);
     qcheck_layout ~count:40 "pressure is monotone in the open valve set"
       (fun t ->
         (* opening additional valves can only add pressurized ports *)

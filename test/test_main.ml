@@ -12,6 +12,7 @@ let () =
       ("util", Suite_util.tests);
       ("milp", Suite_milp.tests);
       ("grid", Suite_grid.tests);
+      ("compiled", Suite_compiled.tests);
       ("pathgen", Suite_pathgen.tests);
       ("flow", Suite_flow.tests);
       ("cut", Suite_cut.tests);
