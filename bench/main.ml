@@ -451,14 +451,53 @@ let campaign_bench ~trials () =
   in
   let total_trials = trials * List.length config.Fpva_sim.Campaign.fault_counts in
   let rate n wall = float_of_int n /. Float.max wall 1e-9 in
-  (* Compiled path, ideal meters. *)
-  let ideal = Fpva_sim.Campaign.run ~config fpva ~vectors in
+  (* Compiled path, ideal meters, on the legacy stream so the detection
+     counts are comparable draw-for-draw with [legacy_campaign_run]. *)
+  let ideal =
+    Fpva_sim.Campaign.run ~config ~stream:Fpva_sim.Campaign.Legacy fpva
+      ~vectors
+  in
   let ideal_detected =
     List.fold_left
       (fun acc r -> acc + r.Fpva_sim.Campaign.detected)
       0 ideal.Fpva_sim.Campaign.rows
   in
   let ideal_tps = rate total_trials ideal.Fpva_sim.Campaign.wall_seconds in
+  (* Sharded stream across a jobs sweep: rows must be bit-identical for
+     every jobs value; throughput should scale with available cores. *)
+  let row_eq (a : Fpva_sim.Campaign.row) (b : Fpva_sim.Campaign.row) =
+    a.Fpva_sim.Campaign.fault_count = b.Fpva_sim.Campaign.fault_count
+    && a.Fpva_sim.Campaign.trials = b.Fpva_sim.Campaign.trials
+    && a.Fpva_sim.Campaign.detected = b.Fpva_sim.Campaign.detected
+    && a.Fpva_sim.Campaign.escapes = b.Fpva_sim.Campaign.escapes
+    && a.Fpva_sim.Campaign.short_draws = b.Fpva_sim.Campaign.short_draws
+    && a.Fpva_sim.Campaign.void_draws = b.Fpva_sim.Campaign.void_draws
+    && Float.compare a.Fpva_sim.Campaign.mean_latency
+         b.Fpva_sim.Campaign.mean_latency
+       = 0
+  in
+  let sweep =
+    List.map
+      (fun jobs ->
+        let r = Fpva_sim.Campaign.run ~config ~jobs fpva ~vectors in
+        ( jobs,
+          r.Fpva_sim.Campaign.rows,
+          rate total_trials r.Fpva_sim.Campaign.wall_seconds ))
+      [ 1; 2; 4 ]
+  in
+  let j1_rows, j1_tps =
+    match sweep with (1, rows, tps) :: _ -> (rows, tps) | _ -> assert false
+  in
+  let rows_identical =
+    List.for_all
+      (fun (_, rows, _) ->
+        List.length rows = List.length j1_rows
+        && List.for_all2 row_eq rows j1_rows)
+      sweep
+  in
+  let tps_of j =
+    List.assoc j (List.map (fun (j, _, tps) -> (j, tps)) sweep)
+  in
   (* Compiled path, noisy meters with adaptive retesting. *)
   let noise_config =
     { Fpva_sim.Campaign.base = config;
@@ -486,6 +525,27 @@ let campaign_bench ~trials () =
   if not agreement then
     Printf.printf "WARNING: compiled path detected %d, legacy detected %d\n"
       ideal_detected legacy_detected;
+  (* Parallel scaling of the sharded stream. *)
+  List.iter
+    (fun (jobs, _, tps) ->
+      Printf.printf
+        "sharded jobs=%d  : %d trials in %.3fs  (%.0f trials/s, efficiency \
+         %.2f)\n"
+        jobs total_trials
+        (float_of_int total_trials /. Float.max tps 1e-9)
+        tps
+        (tps /. (float_of_int jobs *. Float.max j1_tps 1e-9)))
+    sweep;
+  Printf.printf "sharded rows identical across jobs {1,2,4}: %b\n"
+    rows_identical;
+  if not rows_identical then
+    Printf.printf "ERROR: sharded campaign rows differ across jobs values\n";
+  let jobs2_not_slower = tps_of 2 >= j1_tps in
+  if not jobs2_not_slower then
+    Printf.printf
+      "WARNING: jobs=2 slower than jobs=1 (%.0f vs %.0f trials/s) — expected \
+       on a single-core runner, a regression on multi-core hardware\n"
+      (tps_of 2) j1_tps;
   let oc = open_out "BENCH_campaign.json" in
   Printf.fprintf oc
     "{\n\
@@ -497,13 +557,26 @@ let campaign_bench ~trials () =
     \  \"noisy_trials_per_sec\": %.1f,\n\
     \  \"legacy_trials_per_sec\": %.1f,\n\
     \  \"speedup_ideal_vs_legacy\": %.2f,\n\
-    \  \"detection_counts_agree\": %b\n\
+    \  \"detection_counts_agree\": %b,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"sharded_j1_trials_per_sec\": %.1f,\n\
+    \  \"sharded_j2_trials_per_sec\": %.1f,\n\
+    \  \"sharded_j4_trials_per_sec\": %.1f,\n\
+    \  \"parallel_speedup_j4_vs_j1\": %.2f,\n\
+    \  \"scaling_efficiency_j4\": %.2f,\n\
+    \  \"sharded_rows_identical_across_jobs\": %b,\n\
+    \  \"jobs2_not_slower\": %b\n\
      }\n"
     suite.Pipeline.total trials total_trials ideal_tps noisy_tps legacy_tps
-    speedup agreement;
+    speedup agreement
+    (Domain.recommended_domain_count ())
+    j1_tps (tps_of 2) (tps_of 4)
+    (tps_of 4 /. Float.max j1_tps 1e-9)
+    (tps_of 4 /. (4.0 *. Float.max j1_tps 1e-9))
+    rows_identical jobs2_not_slower;
   close_out oc;
   Printf.printf "wrote BENCH_campaign.json\n";
-  agreement
+  agreement && rows_identical
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

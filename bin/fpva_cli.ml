@@ -255,9 +255,24 @@ let repeats_t =
   in
   Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"K" ~doc)
 
+let jobs_t =
+  let doc =
+    "Domains to shard trials across (results are identical for every \
+     value).  0 picks min(available cores, 8)."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    prerr_endline "error: --jobs must be >= 0";
+    exit 2
+  end
+  else if jobs = 0 then Fpva_util.Pool.default_jobs ()
+  else jobs
+
 let campaign_cmd =
   let run name rows cols direct block no_leak trials seed max_faults classes
-      noise repeats =
+      noise repeats jobs =
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     let classes =
@@ -275,6 +290,7 @@ let campaign_cmd =
       prerr_endline "error: --repeats must be >= 1";
       exit 2
     end;
+    let jobs = resolve_jobs jobs in
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let campaign_config =
@@ -290,14 +306,14 @@ let campaign_cmd =
           repeats }
       in
       let r =
-        Fpva_sim.Campaign.run_noisy ~config:noise_config fpva
+        Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs fpva
           ~vectors:result.Pipeline.vectors
       in
       Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r
     end
     else
       let r =
-        Fpva_sim.Campaign.run ~config:campaign_config fpva
+        Fpva_sim.Campaign.run ~config:campaign_config ~jobs fpva
           ~vectors:result.Pipeline.vectors
       in
       Format.printf "%a@?" Fpva_sim.Campaign.pp_result r
@@ -305,7 +321,8 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
-      $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t)
+      $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t
+      $ jobs_t)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -349,7 +366,7 @@ let confidence_t =
 
 let diagnose_cmd =
   let run name rows cols file direct block no_leak inject noise repeats
-      confidence seed =
+      confidence seed jobs =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     if noise < 0.0 || noise >= 1.0 then begin
@@ -360,11 +377,13 @@ let diagnose_cmd =
       prerr_endline "error: --repeats must be >= 1";
       exit 2
     end;
+    let jobs = resolve_jobs jobs in
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let faults = Fpva_sim.Diagnosis.single_faults fpva in
     let dict =
-      Fpva_sim.Diagnosis.build fpva ~vectors:result.Pipeline.vectors ~faults
+      Fpva_sim.Diagnosis.build ~jobs fpva ~vectors:result.Pipeline.vectors
+        ~faults
     in
     let classes = Fpva_sim.Diagnosis.equivalence_classes dict in
     Printf.printf
@@ -457,7 +476,8 @@ let diagnose_cmd =
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
-      $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t)
+      $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t
+      $ jobs_t)
   in
   Cmd.v
     (Cmd.info "diagnose"

@@ -1,4 +1,6 @@
 module Rng = Fpva_util.Rng
+module Pool = Fpva_util.Pool
+module Timer = Fpva_util.Timer
 
 type config = {
   trials : int;
@@ -10,6 +12,8 @@ type config = {
 let default_config =
   { trials = 10_000; fault_counts = [ 1; 2; 3; 4; 5 ]; seed = 42;
     classes = [ `Stuck_at_0; `Stuck_at_1 ] }
+
+type stream = Sharded | Legacy
 
 type row = {
   fault_count : int;
@@ -49,58 +53,125 @@ let draw_faults rng fpva ~classes ~count =
     draw [] count (100 * count)
   end
 
-let run ?(config = default_config) fpva ~vectors =
-  let t0 = Fpva_util.Timer.now () in
-  let rng = Rng.create config.seed in
-  (* One compiled handle serves every trial of the campaign; re-deriving
-     adjacency per application was the dominating cost of the paper's
-     10 000-trial experiment. *)
-  let h = Simulator.make fpva in
-  let rows =
-    List.map
-      (fun fault_count ->
-        let detected = ref 0 in
-        let escapes = ref [] in
-        let latency_sum = ref 0 in
-        let short_draws = ref 0 in
-        let void_draws = ref 0 in
-        let first_detect_index faults =
-          let rec scan i = function
-            | [] -> None
-            | v :: rest ->
-              if Simulator.detects_h h ~faults v then Some i
-              else scan (i + 1) rest
-          in
-          scan 1 vectors
-        in
-        for _ = 1 to config.trials do
-          let faults =
-            draw_faults rng fpva ~classes:config.classes ~count:fault_count
-          in
-          (* The rejection sampler can come up short (or empty) when the
-             layout cannot host [fault_count] disjoint faults.  Record the
-             shortfall instead of scoring phantom faults: an empty draw is
-             neither a detection nor an escape, and the reported rates say
-             how many trials were affected. *)
-          if List.length faults < fault_count then incr short_draws;
-          if faults = [] then incr void_draws
-          else
-            match first_detect_index faults with
-            | Some i ->
-              incr detected;
-              latency_sum := !latency_sum + i
-            | None -> escapes := faults :: !escapes
-        done;
-        let mean_latency =
-          if !detected = 0 then nan
-          else float_of_int !latency_sum /. float_of_int !detected
-        in
-        { fault_count; trials = config.trials; detected = !detected;
-          escapes = List.rev !escapes; short_draws = !short_draws;
-          void_draws = !void_draws; mean_latency })
-      config.fault_counts
+let check_jobs fn jobs stream =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Campaign.%s: jobs must be >= 1" fn);
+  match stream with
+  | Legacy when jobs > 1 ->
+    (* The legacy stream threads one RNG through every trial in order;
+       there is no way to shard it without changing the draws. *)
+    invalid_arg
+      (Printf.sprintf "Campaign.%s: the legacy stream is sequential (jobs = 1)"
+         fn)
+  | Legacy | Sharded -> ()
+
+(* First 1-based index of a detecting vector, scanning with the worker's
+   own compiled handle. *)
+let first_detect_index h vectors ~faults =
+  let rec scan i = function
+    | [] -> None
+    | v :: rest ->
+      if Simulator.detects_h h ~faults v then Some i else scan (i + 1) rest
   in
-  { rows; wall_seconds = Fpva_util.Timer.now () -. t0 }
+  scan 1 vectors
+
+(* One ideal-observation trial.  [Short] accounting is orthogonal to the
+   scoring outcome, so it rides alongside. *)
+type trial_outcome =
+  | Detected of int  (* 1-based first-detecting vector *)
+  | Escaped of Fault.t list
+  | Void
+
+let run_trial h vectors ~classes ~fault_count rng =
+  let fpva = Simulator.handle_fpva h in
+  let faults = draw_faults rng fpva ~classes ~count:fault_count in
+  (* The rejection sampler can come up short (or empty) when the layout
+     cannot host [fault_count] disjoint faults.  Record the shortfall
+     instead of scoring phantom faults: an empty draw is neither a
+     detection nor an escape, and the reported rates say how many trials
+     were affected. *)
+  let short = List.length faults < fault_count in
+  if faults = [] then (short, Void)
+  else
+    match first_detect_index h vectors ~faults with
+    | Some i -> (short, Detected i)
+    | None -> (short, Escaped faults)
+
+(* Fold one row's trial outcomes, in trial order. *)
+let row_of_outcomes ~fault_count ~trials outcome_at =
+  let detected = ref 0 in
+  let escapes = ref [] in
+  let latency_sum = ref 0 in
+  let short_draws = ref 0 in
+  let void_draws = ref 0 in
+  for i = 0 to trials - 1 do
+    let short, outcome = outcome_at i in
+    if short then incr short_draws;
+    match outcome with
+    | Void -> incr void_draws
+    | Detected ix ->
+      incr detected;
+      latency_sum := !latency_sum + ix
+    | Escaped faults -> escapes := faults :: !escapes
+  done;
+  let mean_latency =
+    if !detected = 0 then nan
+    else float_of_int !latency_sum /. float_of_int !detected
+  in
+  { fault_count; trials; detected = !detected;
+    escapes = List.rev !escapes; short_draws = !short_draws;
+    void_draws = !void_draws; mean_latency }
+
+let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
+    ~vectors =
+  check_jobs "run" jobs stream;
+  let t0 = Timer.now () in
+  (* Force the layout's compiled form (and valve tables) before any domain
+     spawns: workers only ever read the caches.  One compiled handle per
+     worker serves every trial it runs; re-deriving adjacency per
+     application was the dominating cost of the paper's 10 000-trial
+     experiment. *)
+  ignore (Simulator.make fpva);
+  let rows =
+    match stream with
+    | Legacy ->
+      let rng = Rng.create config.seed in
+      let h = Simulator.make fpva in
+      List.map
+        (fun fault_count ->
+          (* Explicit loop: the shared legacy RNG must be consumed in
+             trial order. *)
+          let outcomes = Array.make config.trials (false, Void) in
+          for i = 0 to config.trials - 1 do
+            outcomes.(i) <-
+              run_trial h vectors ~classes:config.classes ~fault_count rng
+          done;
+          row_of_outcomes ~fault_count ~trials:config.trials (Array.get outcomes))
+        config.fault_counts
+    | Sharded ->
+      let counts = Array.of_list config.fault_counts in
+      let trials = config.trials in
+      let n = Array.length counts * trials in
+      (* Trial [i] of row [r] draws from stream [r * trials + i] of the
+         campaign seed: the injected fault set is a pure function of
+         (seed, global trial index), so the rows are bit-identical for
+         every [jobs] value. *)
+      let outcomes =
+        Pool.run ~jobs ~n
+          ~init:(fun () -> Simulator.make fpva)
+          ~body:(fun h g ->
+            run_trial h vectors ~classes:config.classes
+              ~fault_count:counts.(g / trials)
+              (Rng.derive config.seed g))
+          ()
+      in
+      List.mapi
+        (fun fc_idx fault_count ->
+          row_of_outcomes ~fault_count ~trials (fun i ->
+              outcomes.((fc_idx * trials) + i)))
+        config.fault_counts
+  in
+  { rows; wall_seconds = Timer.elapsed t0 }
 
 let effective_trials row = row.trials - row.void_draws
 
@@ -166,78 +237,166 @@ let noisy_detection_rate row =
   Fpva_util.Stats.ratio row.n_detected (noisy_effective_trials row)
 
 let false_alarm_rate row =
-  Fpva_util.Stats.ratio row.false_alarms row.n_trials
+  (* Same denominator as the detection rate: a voided trial runs no
+     control session (no faults were injected, so there is nothing to
+     compare a healthy chip against), hence it can produce neither a
+     detection nor a false alarm. *)
+  Fpva_util.Stats.ratio row.false_alarms (noisy_effective_trials row)
 
 let mean_reads row =
   if row.vector_slots = 0 then 0.0
   else float_of_int row.total_reads /. float_of_int row.vector_slots
 
-let run_noisy ?(config = default_noise_config) fpva ~vectors =
-  let t0 = Fpva_util.Timer.now () in
+(* The independent meter stream's salt (see run_noisy doc). *)
+let meter_salt = 0x5f3759df
+
+(* Apply the whole suite through [meter] with adaptive retesting; returns
+   whether any vector's verdict failed plus the read accounting. *)
+let noisy_session policy meter meter_rng h vectors ~faults =
+  let slots = ref 0 and reads = ref 0 in
+  let rec scan = function
+    | [] -> false
+    | v :: rest ->
+      incr slots;
+      let verdict =
+        Retest.apply policy ~read:(fun _ ->
+            Measurement.detects_h meter meter_rng h ~faults v)
+      in
+      reads := !reads + verdict.Retest.reads;
+      if verdict.Retest.failed then true else scan rest
+  in
+  let failed = scan vectors in
+  (failed, !slots, !reads)
+
+type noisy_outcome =
+  | N_void
+  | N_run of { nd : bool; alarm : bool; slots : int; reads : int }
+
+let run_noisy_trial policy meter h vectors ~classes ~fault_count fault_rng
+    meter_rng =
+  let fpva = Simulator.handle_fpva h in
+  let faults = draw_faults fault_rng fpva ~classes ~count:fault_count in
+  let short = List.length faults < fault_count in
+  if faults = [] then (short, N_void)
+  else begin
+    let nd, s1, r1 = noisy_session policy meter meter_rng h vectors ~faults in
+    (* Healthy-chip control session: any flagged vector here is a false
+       alarm (it can only come from meter noise).  Runs only for trials
+       that actually injected something — a voided trial contributes to
+       neither rate's numerator nor denominator. *)
+    let alarm, s2, r2 =
+      noisy_session policy meter meter_rng h vectors ~faults:[]
+    in
+    (short, N_run { nd; alarm; slots = s1 + s2; reads = r1 + r2 })
+  end
+
+let noise_row_of_outcomes ~noise ~fault_count ~trials outcome_at =
+  let detected = ref 0 and false_alarms = ref 0 in
+  let short_draws = ref 0 and void_draws = ref 0 in
+  let total_reads = ref 0 and vector_slots = ref 0 in
+  for i = 0 to trials - 1 do
+    let short, outcome = outcome_at i in
+    if short then incr short_draws;
+    match outcome with
+    | N_void -> incr void_draws
+    | N_run { nd; alarm; slots; reads } ->
+      if nd then incr detected;
+      if alarm then incr false_alarms;
+      vector_slots := !vector_slots + slots;
+      total_reads := !total_reads + reads
+  done;
+  { noise; n_fault_count = fault_count; n_trials = trials;
+    n_detected = !detected; false_alarms = !false_alarms;
+    n_short_draws = !short_draws; n_void_draws = !void_draws;
+    total_reads = !total_reads; vector_slots = !vector_slots }
+
+let run_noisy ?(config = default_noise_config) ?(jobs = 1)
+    ?(stream = Sharded) fpva ~vectors =
+  check_jobs "run_noisy" jobs stream;
+  let t0 = Timer.now () in
   let base = config.base in
   let policy = Retest.policy config.repeats in
-  let h = Simulator.make fpva in
+  (* Validate every level (and warm the caches) before any worker starts. *)
+  let meters_of () =
+    Array.of_list
+      (List.map
+         (fun noise ->
+           Measurement.uniform fpva ~false_pass:noise ~false_fail:noise)
+         config.noise_levels)
+  in
+  ignore (meters_of ());
+  ignore (Simulator.make fpva);
   let rows =
-    List.concat_map
-      (fun noise ->
-        let meter =
-          Measurement.uniform fpva ~false_pass:noise ~false_fail:noise
-        in
-        (* The fault stream reuses the plain campaign's seed and draw
-           order, so every noise level (and [run] itself) scores the same
-           injected fault sets; meter noise comes from an independent
-           derived stream so that noise 0 + repeats 1 is bit-identical to
-           the ideal campaign. *)
-        let rng = Rng.create base.seed in
-        let meter_rng = Rng.create (base.seed lxor 0x5f3759df) in
-        let session ~slots ~reads faults =
-          let rec scan = function
-            | [] -> false
-            | v :: rest ->
-              incr slots;
-              let verdict =
-                Retest.apply policy ~read:(fun _ ->
-                    Measurement.detects_h meter meter_rng h ~faults v)
-              in
-              reads := !reads + verdict.Retest.reads;
-              if verdict.Retest.failed then true else scan rest
+    match stream with
+    | Legacy ->
+      let h = Simulator.make fpva in
+      List.concat_map
+        (fun noise ->
+          let meter =
+            Measurement.uniform fpva ~false_pass:noise ~false_fail:noise
           in
-          scan vectors
-        in
-        List.map
-          (fun fault_count ->
-            let detected = ref 0 and false_alarms = ref 0 in
-            let short_draws = ref 0 and void_draws = ref 0 in
-            let total_reads = ref 0 and vector_slots = ref 0 in
-            for _ = 1 to base.trials do
-              let faults =
-                draw_faults rng fpva ~classes:base.classes ~count:fault_count
-              in
-              if List.length faults < fault_count then incr short_draws;
-              if faults = [] then incr void_draws
-              else if session ~slots:vector_slots ~reads:total_reads faults
-              then incr detected;
-              (* Healthy-chip control session: any flagged vector here is a
-                 false alarm (it can only come from meter noise). *)
-              if session ~slots:vector_slots ~reads:total_reads [] then
-                incr false_alarms
-            done;
-            { noise; n_fault_count = fault_count; n_trials = base.trials;
-              n_detected = !detected; false_alarms = !false_alarms;
-              n_short_draws = !short_draws; n_void_draws = !void_draws;
-              total_reads = !total_reads; vector_slots = !vector_slots })
-          base.fault_counts)
-      config.noise_levels
+          (* The fault stream reuses the plain campaign's seed and draw
+             order, so every noise level (and [run] itself) scores the same
+             injected fault sets; meter noise comes from an independent
+             derived stream so that noise 0 + repeats 1 is bit-identical to
+             the ideal campaign. *)
+          let rng = Rng.create base.seed in
+          let meter_rng = Rng.create (base.seed lxor meter_salt) in
+          List.map
+            (fun fault_count ->
+              let outcomes = Array.make base.trials (false, N_void) in
+              for i = 0 to base.trials - 1 do
+                outcomes.(i) <-
+                  run_noisy_trial policy meter h vectors
+                    ~classes:base.classes ~fault_count rng meter_rng
+              done;
+              noise_row_of_outcomes ~noise ~fault_count ~trials:base.trials
+                (Array.get outcomes))
+            base.fault_counts)
+        config.noise_levels
+    | Sharded ->
+      let levels = Array.of_list config.noise_levels in
+      let counts = Array.of_list base.fault_counts in
+      let trials = base.trials in
+      let per_level = Array.length counts * trials in
+      let n = Array.length levels * per_level in
+      (* Fault draws are keyed by the (fault count, trial) pair alone —
+         [rem] below — so every noise level (and the ideal [run]) scores
+         identical injected fault sets; meter noise is keyed by the same
+         pair under a salted seed, giving an independent stream that is
+         also shared across levels (common random numbers). *)
+      let outcomes =
+        Pool.run ~jobs ~n
+          ~init:(fun () -> (Simulator.make fpva, meters_of ()))
+          ~body:(fun (h, meters) g ->
+            let level_idx = g / per_level in
+            let rem = g mod per_level in
+            run_noisy_trial policy meters.(level_idx) h vectors
+              ~classes:base.classes
+              ~fault_count:counts.(rem / trials)
+              (Rng.derive base.seed rem)
+              (Rng.derive (base.seed lxor meter_salt) rem))
+          ()
+      in
+      List.concat
+        (List.mapi
+           (fun level_idx noise ->
+             List.mapi
+               (fun fc_idx fault_count ->
+                 noise_row_of_outcomes ~noise ~fault_count ~trials (fun i ->
+                     outcomes.((level_idx * per_level) + (fc_idx * trials) + i)))
+               base.fault_counts)
+           config.noise_levels)
   in
   { noise_rows = rows; repeats = config.repeats;
-    n_wall_seconds = Fpva_util.Timer.now () -. t0 }
+    n_wall_seconds = Timer.elapsed t0 }
 
 let pp_noise_row ppf row =
   Format.fprintf ppf
     "noise=%.3f faults=%d detected=%d/%d (%.4f), false alarms %d/%d \
      (%.4f), mean reads/vector %.2f"
     row.noise row.n_fault_count row.n_detected (noisy_effective_trials row)
-    (noisy_detection_rate row) row.false_alarms row.n_trials
+    (noisy_detection_rate row) row.false_alarms (noisy_effective_trials row)
     (false_alarm_rate row) (mean_reads row);
   if row.n_short_draws > 0 then
     Format.fprintf ppf " [%d short draw(s), %d empty]" row.n_short_draws

@@ -7,9 +7,20 @@
 
     A campaign repeats: draw [k] distinct random faults, run the whole
     vector suite on the faulty chip, record whether any vector's observation
-    differs from golden. *)
+    differs from golden.
 
+    {2 Sharded RNG and parallel execution}
 
+    On the default {!Sharded} stream the fault set injected by trial [i] of
+    a row is a pure function of [(seed, global trial index)] — each trial
+    owns the counter-based stream [Fpva_util.Rng.derive seed index].  That
+    makes the trials embarrassingly parallel {e without} changing their
+    results: [run ~jobs:k] shards trials across [k] domains (each worker
+    holding its own compiled simulator handle, whose scratch buffers must
+    never be shared) and returns rows {e bit-identical} for every [k],
+    [jobs:1] included.  The pre-sharding sequential stream — one RNG
+    threaded through all trials in order — survives behind [~stream:Legacy]
+    for pinned regression rows; it cannot be sharded. *)
 
 type config = {
   trials : int;  (** repetitions per fault count (paper: 10 000) *)
@@ -22,6 +33,14 @@ type config = {
 
 val default_config : config
 (** 10 000 trials, counts 1–5, stuck-at classes, seed 42. *)
+
+type stream =
+  | Sharded
+      (** default: per-trial counter-based RNG streams; identical results
+          for every [jobs] value *)
+  | Legacy
+      (** the pre-sharding draw order (one sequential RNG across all
+          trials); only valid with [jobs = 1] *)
 
 type row = {
   fault_count : int;  (** faults {e requested} per trial *)
@@ -51,9 +70,15 @@ type result = {
 
 val run :
   ?config:config ->
+  ?jobs:int ->
+  ?stream:stream ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   result
+(** [jobs] (default 1) is the number of domains trials are sharded across;
+    rows are bit-identical for every [jobs] value on the {!Sharded} stream.
+    @raise Invalid_argument if [jobs < 1], or if [stream = Legacy] and
+    [jobs > 1]. *)
 
 val effective_trials : row -> int
 (** [trials - void_draws]: the trials that actually injected something. *)
@@ -71,10 +96,10 @@ val pp_result : Format.formatter -> result -> unit
 
     The same experiment under imperfect observation: every vector is read
     through a {!Measurement} error model and retested under an adaptive
-    majority-vote policy ({!Fpva_testgen.Retest}).  Each trial also runs a
-    healthy-chip control session, so rows report a {e false-alarm} rate
-    alongside detection, plus the measurement cost (mean reads per
-    vector). *)
+    majority-vote policy ({!Fpva_testgen.Retest}).  Each non-void trial
+    also runs a healthy-chip control session, so rows report a {e
+    false-alarm} rate alongside detection, plus the measurement cost (mean
+    reads per vector). *)
 
 type noise_config = {
   base : config;  (** trials, fault counts, seed and classes, as for
@@ -96,6 +121,9 @@ type noise_row = {
   false_alarms : int;  (** healthy-chip sessions with a failed verdict *)
   n_short_draws : int;
   n_void_draws : int;
+      (** trials that could draw no fault; these run {e no} session at all
+          (neither faulty nor control) and are excluded from both rates'
+          denominators *)
   total_reads : int;  (** vector applications across all sessions *)
   vector_slots : int;  (** vector positions evaluated (a session stops at
                            its first failed verdict) *)
@@ -109,23 +137,29 @@ type noise_result = {
 
 val run_noisy :
   ?config:noise_config ->
+  ?jobs:int ->
+  ?stream:stream ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   noise_result
-(** Fault draws reuse {!run}'s stream (seeded from [base.seed]), so every
-    noise level — and the ideal campaign — scores identical injected
-    fault sets; meter noise draws from an independent derived stream.
-    With noise 0 and repeats 1 the detected counts equal {!run}'s
-    bit-for-bit, and equal seeds reproduce rows byte-for-byte.
-    @raise Invalid_argument if [repeats < 1] or a level is outside
-    [0,1]. *)
+(** Fault draws are keyed exactly as in {!run} (by [(base.seed, fault
+    count x trial)] on the sharded stream; {!run}'s legacy draw order under
+    [~stream:Legacy]), so every noise level — and the ideal campaign —
+    scores identical injected fault sets; meter noise draws from an
+    independent stream derived from [base.seed lxor 0x5f3759df].  With
+    noise 0 and repeats 1 the detected counts equal {!run}'s bit-for-bit
+    (same [stream]), and equal seeds reproduce rows byte-for-byte for
+    every [jobs] value.
+    @raise Invalid_argument if [repeats < 1], a level is outside [0,1],
+    [jobs < 1], or [stream = Legacy] with [jobs > 1]. *)
 
 val noisy_effective_trials : noise_row -> int
 
 val noisy_detection_rate : noise_row -> float
 
 val false_alarm_rate : noise_row -> float
-(** [false_alarms / trials] (every trial runs a control session). *)
+(** [false_alarms / noisy_effective_trials]: the control session runs once
+    per {e non-void} trial, so both rates share one denominator. *)
 
 val mean_reads : noise_row -> float
 (** Average vector applications per evaluated vector position. *)

@@ -20,17 +20,19 @@ let syndrome_of_h h ~vectors ~faults =
 let syndrome_of fpva ~vectors ~faults =
   syndrome_of_h (Simulator.make fpva) ~vectors ~faults
 
-let build fpva ~vectors ~faults =
-  (* One compiled handle serves the whole fault-universe sweep. *)
-  let h = Simulator.make fpva in
+let build ?(jobs = 1) fpva ~vectors ~faults =
+  (* Warm the grid's shared caches before any domain spawns; after this the
+     workers only read the Fpva value, each through its own handle. *)
+  ignore (Simulator.make fpva);
   let vecs = Array.of_list vectors in
-  let entries =
-    Array.of_list
-      (List.map
-         (fun f -> (f, syndrome_of_h h ~vectors ~faults:[ f ]))
-         faults)
+  let fa = Array.of_list faults in
+  let syndromes =
+    Fpva_util.Pool.run ~jobs ~n:(Array.length fa)
+      ~init:(fun () -> Simulator.make fpva)
+      ~body:(fun h i -> syndrome_of_h h ~vectors ~faults:[ fa.(i) ])
+      ()
   in
-  { vectors = vecs; entries }
+  { vectors = vecs; entries = Array.mapi (fun i s -> (fa.(i), s)) syndromes }
 
 let all_pass s = Array.for_all not s
 

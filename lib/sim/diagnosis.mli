@@ -22,11 +22,16 @@ val single_faults : Fpva_grid.Fpva.t -> Fault.t list
 (** The single stuck-at fault universe: SA0 and SA1 for every valve. *)
 
 val build :
+  ?jobs:int ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   faults:Fault.t list ->
   dictionary
-(** Simulate every candidate fault against every vector. *)
+(** Simulate every candidate fault against every vector.  Candidates are
+    independent, so [jobs] (default 1) shards them across that many domains
+    (each with a private simulator handle); the dictionary is identical for
+    every [jobs] value.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val syndrome_of :
   Fpva_grid.Fpva.t ->

@@ -1,0 +1,83 @@
+(* Fixed-size Domain worker pool over a chunked index range.
+
+   The campaign workloads this serves are embarrassingly parallel with a
+   determinism contract: item [i]'s result must be a pure function of [i]
+   (randomness included — callers derive per-item RNG streams with
+   [Rng.mix]).  The pool therefore only schedules; results land at their
+   index regardless of which worker computed them, so the output is
+   bit-identical for every [jobs] value.
+
+   Scheduling: the range [0, n) is cut into contiguous chunks and workers
+   pull the next chunk off a shared atomic counter — cheap dynamic load
+   balancing without per-item contention.  The caller's domain doubles as
+   worker 0, so [jobs] domains run in total ([jobs - 1] spawned). *)
+
+let default_jobs () = min (Domain.recommended_domain_count ()) 8
+
+let sequential ~n ~init ~teardown ~body =
+  let w = init () in
+  Fun.protect
+    ~finally:(fun () -> match teardown with Some f -> f w | None -> ())
+    (fun () ->
+      if n = 0 then [||]
+      else begin
+        let out = Array.make n (body w 0) in
+        for i = 1 to n - 1 do
+          out.(i) <- body w i
+        done;
+        out
+      end)
+
+let run ~jobs ~n ~init ?teardown ~body () =
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  if n < 0 then invalid_arg "Pool.run: negative item count";
+  if jobs = 1 || n <= 1 then sequential ~n ~init ~teardown ~body
+  else begin
+    let workers = min jobs n in
+    (* Several chunks per worker so a slow chunk does not straggle the
+       whole run, but chunks big enough that the counter is cold. *)
+    let chunk = max 1 (n / (workers * 8)) in
+    let num_chunks = (n + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let results = Array.make n None in
+    let failures = Array.make workers None in
+    let work wid =
+      match init () with
+      | exception e -> failures.(wid) <- Some e
+      | w ->
+        (try
+           let rec loop () =
+             let c = Atomic.fetch_and_add next 1 in
+             if c < num_chunks then begin
+               let lo = c * chunk in
+               let hi = min n (lo + chunk) in
+               for i = lo to hi - 1 do
+                 (* Disjoint indices: no two workers ever write one slot. *)
+                 results.(i) <- Some (body w i)
+               done;
+               loop ()
+             end
+           in
+           loop ()
+         with e -> failures.(wid) <- Some e);
+        (match teardown with
+        | Some f -> (
+          try f w
+          with e ->
+            if Option.is_none failures.(wid) then failures.(wid) <- Some e)
+        | None -> ())
+    in
+    let domains =
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+    in
+    work 0;
+    Array.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map
+      (function
+        | Some x -> x
+        | None ->
+          (* Unreachable: every chunk was claimed and no worker failed. *)
+          assert false)
+      results
+  end

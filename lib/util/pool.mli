@@ -1,0 +1,33 @@
+(** Fixed Domain worker pool over a chunked index range.
+
+    [run ~jobs ~n ~init ~body ()] evaluates [body worker_state i] for every
+    [i] in [0, n) across [jobs] domains (the calling domain included) and
+    returns the results indexed by [i].  Each worker builds its own state
+    with [init] once, before processing any item, and releases it with
+    [teardown] when the range is drained — this is where callers allocate
+    resources that must never be shared between domains (simulator handles
+    with mutable scratch, per-level meter models, …).
+
+    Determinism contract: the pool guarantees result [i] sits at index [i],
+    nothing more.  If [body]'s value for [i] is a pure function of [i] (use
+    {!Rng.mix} to derive per-item randomness), the returned array is
+    bit-identical for every [jobs] value, 1 included. *)
+
+val default_jobs : unit -> int
+(** [min (Domain.recommended_domain_count ()) 8] — the CLI's [--jobs]
+    default.  Campaign trials are memory-light, so beyond a handful of
+    domains the shared cache, not the core count, bounds the speedup. *)
+
+val run :
+  jobs:int ->
+  n:int ->
+  init:(unit -> 'w) ->
+  ?teardown:('w -> unit) ->
+  body:('w -> int -> 'a) ->
+  unit ->
+  'a array
+(** With [jobs = 1] (or [n <= 1]) everything runs in the calling domain and
+    no domain is spawned.  If any [init], [body] or [teardown] raises, the
+    remaining workers finish their current chunk, every worker is joined,
+    and the exception of the lowest-numbered failed worker is re-raised.
+    @raise Invalid_argument if [jobs < 1] or [n < 0]. *)

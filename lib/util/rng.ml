@@ -10,18 +10,31 @@ let next t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(* 2^62 as an Int64: one past the largest value a 62-bit draw can take.
+   Not representable as a native [int] (max_int is 2^62 - 1), so the
+   rejection threshold below is computed in Int64 first. *)
+let two_pow_62 = 0x4000000000000000L
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int";
   (* Rejection sampling on the top 62 bits avoids modulo bias. *)
-  let mask = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  if bound land (bound - 1) = 0 then mask land (bound - 1)
+  let draw62 () = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  if bound land (bound - 1) = 0 then draw62 () land (bound - 1)
   else begin
-    let rec draw v =
-      let r = v mod bound in
-      if v - r + (bound - 1) >= 0 then r
-      else draw (Int64.to_int (Int64.shift_right_logical (next t) 2))
+    (* Accept draws below the largest multiple of [bound] that fits in 62
+       bits; anything at or above it belongs to the final partial block and
+       would over-weight the low residues.  The threshold is explicit — an
+       overflow-based test (Java's [v - r + (bound - 1) >= 0]) relies on
+       wraparound behaviour that is easy to break under refactoring.  For a
+       non-power-of-two bound the threshold is at most 2^62 - 1, so it fits
+       a native int.  Acceptance region and accepted values are unchanged,
+       so streams are bit-identical to the previous sampler. *)
+    let threshold =
+      Int64.to_int
+        (Int64.sub two_pow_62 (Int64.rem two_pow_62 (Int64.of_int bound)))
     in
-    draw mask
+    let rec draw v = if v >= threshold then draw (draw62 ()) else v mod bound in
+    draw (draw62 ())
   end
 
 let bool t = Int64.logand (next t) 1L = 1L
@@ -31,6 +44,30 @@ let float t x =
   x *. (u /. 9007199254740992.0)
 
 let split t = { state = next t }
+
+(* Stateless splitmix64 finaliser, for counter-based stream derivation. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix seed i =
+  (* Finalise the seed before adding the Weyl-stepped index so that
+     neighbouring (seed, i) pairs land in unrelated states: streams for
+     trials i and i+1 of one campaign must be as independent as streams
+     for two unrelated seeds. *)
+  Int64.to_int
+    (mix64
+       (Int64.add (mix64 (Int64.of_int seed))
+          (Int64.mul (Int64.of_int i) 0x9E3779B97F4A7C15L)))
+
+let derive seed i = create (mix seed i)
 
 let pick t a =
   let n = Array.length a in

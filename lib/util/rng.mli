@@ -10,7 +10,10 @@ val create : int -> t
 (** [create seed] is a fresh generator; equal seeds yield equal streams. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound).
+(** [int t bound] is uniform in [0, bound): power-of-two bounds mask the
+    top bits of one draw, other bounds use explicit threshold rejection
+    (draws in the final partial block below 2^62 are discarded), so there
+    is no modulo bias even for bounds adversarially close to [max_int].
     @raise Invalid_argument if [bound <= 0]. *)
 
 val bool : t -> bool
@@ -20,6 +23,16 @@ val float : t -> float -> float
 
 val split : t -> t
 (** [split t] derives an independent generator (advances [t]). *)
+
+val mix : int -> int -> int
+(** [mix seed i] hashes a (seed, stream-index) pair into a well-mixed seed
+    (stateless splitmix64 finaliser).  [create (mix seed i)] is the
+    counter-based stream [i] of [seed]: a pure function of its inputs, so
+    work sharded across domains draws identical randomness no matter which
+    worker runs stream [i]. *)
+
+val derive : int -> int -> t
+(** [derive seed i] is [create (mix seed i)]. *)
 
 val pick : t -> 'a array -> 'a
 (** [pick t a] is a uniformly chosen element of [a].

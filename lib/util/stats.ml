@@ -24,8 +24,12 @@ let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  (* A NaN placeholder (e.g. an undetected row's latency) sorts to an
+     arbitrary rank and silently poisons the interpolation; refuse it. *)
+  if Array.exists Float.is_nan a then
+    invalid_arg "Stats.percentile: NaN input";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in

@@ -12,9 +12,10 @@ val summarize : float array -> summary
 (** @raise Invalid_argument on an empty array. *)
 
 val percentile : float array -> float -> float
-(** [percentile a p] with [p] in [0,100]; linear interpolation between ranks.
-    The input need not be sorted.
-    @raise Invalid_argument on an empty array or [p] outside [0,100]. *)
+(** [percentile a p] with [p] in [0,100]; linear interpolation between ranks
+    under [Float.compare] order.  The input need not be sorted.
+    @raise Invalid_argument on an empty array, [p] outside [0,100], or any
+    NaN element (a NaN placeholder must never poison a summary silently). *)
 
 val mean : float array -> float
 

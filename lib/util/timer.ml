@@ -1,6 +1,10 @@
-let now () = Unix.gettimeofday ()
+external monotonic_seconds : unit -> float = "fpva_monotonic_seconds"
+
+let now () = monotonic_seconds ()
+
+let elapsed t0 = Float.max 0.0 (now () -. t0)
 
 let time f =
   let t0 = now () in
   let x = f () in
-  (x, now () -. t0)
+  (x, elapsed t0)

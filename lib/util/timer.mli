@@ -1,7 +1,18 @@
-(** Wall-clock timing for the runtime columns of Table I. *)
+(** Monotonic timing for the runtime columns of Table I and campaign
+    wall-clock reports.
+
+    [now] reads [CLOCK_MONOTONIC] (via a C stub; wall-clock fallback on
+    platforms without it), so NTP stepping the system clock backwards
+    mid-run can no longer produce negative elapsed times.  The value is
+    seconds from an arbitrary origin — only differences are meaningful. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed seconds
+    (clamped at 0). *)
 
 val now : unit -> float
-(** Monotonic-ish wall-clock seconds (Unix epoch based). *)
+(** Monotonic seconds from an unspecified origin (NOT the Unix epoch). *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [max 0 (now () - t0)]: never-negative seconds since an
+    earlier [now] reading. *)

@@ -1,0 +1,31 @@
+/* Monotonic clock for Timer.now.
+ *
+ * Unix.gettimeofday reads the wall clock, which NTP can step backwards
+ * mid-run; elapsed-time reports (campaign wall_seconds, Table I columns)
+ * must come from a source that only moves forward.  The OCaml <= 5.1
+ * stdlib exposes no monotonic clock, so this stub wraps
+ * clock_gettime(CLOCK_MONOTONIC) with a wall-clock fallback for platforms
+ * without it.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value fpva_monotonic_seconds(value unit)
+{
+  (void) unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double) tv.tv_sec + (double) tv.tv_usec * 1e-6);
+  }
+}

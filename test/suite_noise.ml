@@ -437,8 +437,9 @@ let reproducibility_tests =
         check Alcotest.string "identical renderings" (render a) (render b);
         checkb "identical rows" true
           (a.Campaign.noise_rows = b.Campaign.noise_rows));
-    case "pinned noisy row (seed 7, 5x5, noise 0.05, repeats 3)" (fun () ->
-        (* Regression pin: any change to the fault stream, the meter
+    case "pinned noisy row, legacy stream (seed 7, 5x5, noise 0.05)"
+      (fun () ->
+        (* Regression pin: any change to the legacy fault stream, the meter
            stream, or the retest policy shows up here.  Update the literal
            deliberately, never casually. *)
         let t = sample_layout () in
@@ -450,7 +451,10 @@ let reproducibility_tests =
             noise_levels = [ 0.05 ];
             repeats = 3 }
         in
-        let res = Campaign.run_noisy ~config t ~vectors:r.Pipeline.vectors in
+        let res =
+          Campaign.run_noisy ~config ~stream:Campaign.Legacy t
+            ~vectors:r.Pipeline.vectors
+        in
         match res.Campaign.noise_rows with
         | [ row ] ->
           check Alcotest.string "pinned row"
@@ -458,6 +462,34 @@ let reproducibility_tests =
              17/50 (0.3400), mean reads/vector 2.17"
             (Format.asprintf "%a" Campaign.pp_noise_row row)
         | _ -> Alcotest.fail "expected exactly one row");
+    case "pinned noisy row, sharded stream (seed 7, 5x5, noise 0.05)"
+      (fun () ->
+        (* Same configuration on the default counter-based stream; the
+           contract makes this literal independent of the jobs value, so it
+           is checked at jobs 1 and 4. *)
+        let t = sample_layout () in
+        let r = Pipeline.run_exn t in
+        let config =
+          { Campaign.base =
+              { Campaign.trials = 50; fault_counts = [ 1 ]; seed = 7;
+                classes = [ `Stuck_at_0; `Stuck_at_1 ] };
+            noise_levels = [ 0.05 ];
+            repeats = 3 }
+        in
+        List.iter
+          (fun jobs ->
+            let res =
+              Campaign.run_noisy ~config ~jobs t ~vectors:r.Pipeline.vectors
+            in
+            match res.Campaign.noise_rows with
+            | [ row ] ->
+              check Alcotest.string
+                (Printf.sprintf "pinned row at jobs=%d" jobs)
+                "noise=0.050 faults=1 detected=50/50 (1.0000), false alarms \
+                 20/50 (0.4000), mean reads/vector 2.16"
+                (Format.asprintf "%a" Campaign.pp_noise_row row)
+            | _ -> Alcotest.fail "expected exactly one row")
+          [ 1; 4 ]);
     case "pp_result prints '-' instead of nan for undetected rows" (fun () ->
         let t = sample_layout () in
         let config = { Campaign.default_config with Campaign.trials = 20 } in

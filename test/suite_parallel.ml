@@ -1,0 +1,166 @@
+(* The parallel campaign engine: sharded-RNG determinism across jobs
+   values, legacy-stream preservation, and the Pool-backed dictionary
+   build. *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+
+(* One suite, shared across the cases: the jobs-parity properties run the
+   same campaign several times over. *)
+let five =
+  lazy
+    (let t = Layouts.paper_array 5 in
+     let r = Pipeline.run_exn t in
+     (t, r.Pipeline.vectors))
+
+let eight =
+  lazy
+    (let t = Layouts.paper_array 8 in
+     let r = Pipeline.run_exn t in
+     (t, r.Pipeline.vectors))
+
+let row_eq (a : Campaign.row) (b : Campaign.row) =
+  a.Campaign.fault_count = b.Campaign.fault_count
+  && a.Campaign.trials = b.Campaign.trials
+  && a.Campaign.detected = b.Campaign.detected
+  && a.Campaign.escapes = b.Campaign.escapes
+  && a.Campaign.short_draws = b.Campaign.short_draws
+  && a.Campaign.void_draws = b.Campaign.void_draws
+  (* Float.compare, not (=): two nan latencies are the same row *)
+  && Float.compare a.Campaign.mean_latency b.Campaign.mean_latency = 0
+
+let rows_eq a b = List.length a = List.length b && List.for_all2 row_eq a b
+
+let render_noise res =
+  Format.asprintf "%a" Campaign.pp_noise_result
+    { res with Campaign.n_wall_seconds = 0.0 }
+
+let jobs_parity_tests =
+  [
+    qcheck ~count:8 "run rows are identical for jobs 1, 2 and 4"
+      QCheck2.Gen.(int_bound 1_000)
+      (fun seed ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 40;
+            fault_counts = [ 1; 2 ];
+            seed }
+        in
+        let rows jobs =
+          (Campaign.run ~config ~jobs t ~vectors).Campaign.rows
+        in
+        let r1 = rows 1 in
+        rows_eq r1 (rows 2) && rows_eq r1 (rows 4));
+    case "run_noisy rows are identical for jobs 1, 2 and 4" (fun () ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.base =
+              { Campaign.default_config with
+                Campaign.trials = 40;
+                fault_counts = [ 1; 2 ];
+                seed = 13 };
+            noise_levels = [ 0.0; 0.05 ];
+            repeats = 3 }
+        in
+        let render jobs =
+          render_noise (Campaign.run_noisy ~config ~jobs t ~vectors)
+        in
+        let r1 = render 1 in
+        check Alcotest.string "jobs 2" r1 (render 2);
+        check Alcotest.string "jobs 4" r1 (render 4));
+    case "oversubscribed jobs still match" (fun () ->
+        (* more domains than trials: every worker gets at most one chunk *)
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 3;
+            fault_counts = [ 1 ] }
+        in
+        let rows jobs =
+          (Campaign.run ~config ~jobs t ~vectors).Campaign.rows
+        in
+        checkb "jobs 8 = jobs 1" true (rows_eq (rows 1) (rows 8)));
+  ]
+
+let stream_tests =
+  [
+    slow_case
+      "sharded and legacy streams agree on aggregate detection (8x8)"
+      (fun () ->
+        (* The two streams draw different fault sets per trial, so rows
+           differ — but over the default 8x8 campaign both sample the same
+           fault distribution and the suite detects essentially everything:
+           aggregate detection rates must sit within a point. *)
+        let t, vectors = Lazy.force eight in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 200;
+            fault_counts = [ 1; 2; 3 ] }
+        in
+        let aggregate stream =
+          let r = Campaign.run ~config ~stream ~jobs:1 t ~vectors in
+          let det, eff =
+            List.fold_left
+              (fun (d, e) row ->
+                (d + row.Campaign.detected, e + Campaign.effective_trials row))
+              (0, 0) r.Campaign.rows
+          in
+          Fpva_util.Stats.ratio det eff
+        in
+        let sharded = aggregate Campaign.Sharded in
+        let legacy = aggregate Campaign.Legacy in
+        checkb
+          (Printf.sprintf "sharded %.4f vs legacy %.4f" sharded legacy)
+          true
+          (Float.abs (sharded -. legacy) <= 0.01));
+    case "legacy stream rejects jobs > 1" (fun () ->
+        let t, vectors = Lazy.force five in
+        Alcotest.check_raises "run"
+          (Invalid_argument
+             "Campaign.run: the legacy stream is sequential (jobs = 1)")
+          (fun () ->
+            ignore
+              (Campaign.run ~jobs:2 ~stream:Campaign.Legacy t ~vectors));
+        Alcotest.check_raises "run_noisy"
+          (Invalid_argument
+             "Campaign.run_noisy: the legacy stream is sequential (jobs = 1)")
+          (fun () ->
+            ignore
+              (Campaign.run_noisy ~jobs:2 ~stream:Campaign.Legacy t ~vectors)));
+    case "jobs must be positive" (fun () ->
+        let t, vectors = Lazy.force five in
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Campaign.run: jobs must be >= 1") (fun () ->
+            ignore (Campaign.run ~jobs:0 t ~vectors)));
+  ]
+
+let diagnosis_tests =
+  [
+    case "dictionary build is identical for jobs 1 and 4" (fun () ->
+        let t, vectors = Lazy.force five in
+        let faults = Diagnosis.single_faults t in
+        let build jobs = Diagnosis.build ~jobs t ~vectors ~faults in
+        let seq = build 1 and par = build 4 in
+        (* identical syndromes -> identical classes, resolution and
+           diagnoses for every observation *)
+        check (Alcotest.float 0.0) "resolution" (Diagnosis.resolution seq)
+          (Diagnosis.resolution par);
+        checki "classes"
+          (List.length (Diagnosis.equivalence_classes seq))
+          (List.length (Diagnosis.equivalence_classes par));
+        List.iter
+          (fun injected ->
+            let observed =
+              Diagnosis.syndrome_of t ~vectors ~faults:[ injected ]
+            in
+            checkb "same diagnosis" true
+              (List.equal Fault.equal
+                 (Diagnosis.diagnose seq observed)
+                 (Diagnosis.diagnose par observed)))
+          [ Fault.Stuck_at_0 0; Fault.Stuck_at_1 12; Fault.Stuck_at_0 20 ]);
+  ]
+
+let tests = jobs_parity_tests @ stream_tests @ diagnosis_tests

@@ -1,10 +1,12 @@
-(* Tests for the fpva.util substrate: Vec, Rng, Stats, Table. *)
+(* Tests for the fpva.util substrate: Vec, Rng, Stats, Timer, Pool, Table. *)
 
 open Helpers
 module Vec = Fpva_util.Vec
 module Rng = Fpva_util.Rng
 module Stats = Fpva_util.Stats
 module Table = Fpva_util.Table
+module Timer = Fpva_util.Timer
+module Pool = Fpva_util.Pool
 
 (* ---------- Vec ---------- *)
 
@@ -160,6 +162,58 @@ let rng_tests =
             checkb "bucket within 5% of mean" true
               (abs (c - (n / 10)) < n / 20))
           buckets);
+    case "pinned streams survive the rejection rewrite" (fun () ->
+        (* Byte-level pins captured before the explicit-threshold rejection
+           landed: the rewrite must not change a single draw.  Update only
+           with a deliberate stream break. *)
+        let draws seed bound n =
+          let r = Rng.create seed in
+          List.init n (fun _ -> Rng.int r bound)
+        in
+        check (Alcotest.list Alcotest.int) "seed 42 bound 10"
+          [ 3; 2; 4; 1; 2; 5; 1; 7 ] (draws 42 10 8);
+        check (Alcotest.list Alcotest.int) "seed 7 bound 1000"
+          [ 621; 951; 336; 50; 918; 76 ] (draws 7 1000 6);
+        check (Alcotest.list Alcotest.int) "seed 1 bound max_int"
+          [ 2612804094800205616; 3439311302766607129; 4477959822570722647;
+            2049245188455445058 ]
+          (draws 1 max_int 4));
+    case "adversarial bounds near 2^62 stay in range" (fun () ->
+        (* the rejection threshold 2^62 - (2^62 mod bound) sits closest to
+           the raw draw ceiling for bounds just under 2^62 — exactly where
+           the old overflow-style test was hardest to reason about *)
+        List.iter
+          (fun bound ->
+            let r = Rng.create 97 in
+            for _ = 1 to 500 do
+              let x = Rng.int r bound in
+              checkb
+                (Printf.sprintf "0 <= %d < %d" x bound)
+                true
+                (x >= 0 && x < bound)
+            done)
+          [ max_int; max_int - 1; (1 lsl 61) + 1; (1 lsl 61) + 3 ];
+        (* same seed, same bound: rejection must be deterministic *)
+        let stream bound =
+          let r = Rng.create 97 in
+          List.init 100 (fun _ -> Rng.int r bound)
+        in
+        checkb "deterministic at max_int" true
+          (stream max_int = stream max_int));
+    case "mix is a pure function of (seed, index)" (fun () ->
+        checki "reproducible" (Rng.mix 42 17) (Rng.mix 42 17);
+        checkb "index matters" true (Rng.mix 42 17 <> Rng.mix 42 18);
+        checkb "seed matters" true (Rng.mix 42 17 <> Rng.mix 43 17);
+        (* the splitmix finaliser must not collapse nearby indices *)
+        let outs =
+          List.sort_uniq compare (List.init 1000 (fun i -> Rng.mix 5 i))
+        in
+        checki "no collisions over 1000 indices" 1000 (List.length outs));
+    case "derive seed i equals create (mix seed i)" (fun () ->
+        let a = Rng.derive 9 4 and b = Rng.create (Rng.mix 9 4) in
+        for _ = 1 to 50 do
+          checki "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+        done);
   ]
 
 (* ---------- Stats ---------- *)
@@ -190,6 +244,19 @@ let stats_tests =
     case "ratio" (fun () ->
         check (Alcotest.float 1e-9) "half" 0.5 (Stats.ratio 1 2);
         check (Alcotest.float 0.0) "zero den" 0.0 (Stats.ratio 1 0));
+    case "percentile rejects NaN input" (fun () ->
+        (* under the old polymorphic sort a NaN's position was whatever
+           compare happened to decide, silently skewing every rank *)
+        Alcotest.check_raises "nan"
+          (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+            ignore (Stats.percentile [| 1.0; nan; 3.0 |] 50.0));
+        Alcotest.check_raises "all nan"
+          (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+            ignore (Stats.percentile [| nan |] 0.0)));
+    case "percentile orders signed zeros and infinities" (fun () ->
+        let a = [| infinity; -0.0; neg_infinity; 0.0 |] in
+        check (Alcotest.float 1e-9) "p0" neg_infinity (Stats.percentile a 0.0);
+        checkb "p100" true (Stats.percentile a 100.0 = infinity));
     qcheck "mean within min..max"
       QCheck2.Gen.(list_size (int_range 1 40) (float_bound_inclusive 100.0))
       (fun xs ->
@@ -197,6 +264,93 @@ let stats_tests =
         let s = Stats.summarize a in
         s.Stats.mean >= s.Stats.min -. 1e-9
         && s.Stats.mean <= s.Stats.max +. 1e-9);
+  ]
+
+(* ---------- Timer ---------- *)
+
+let timer_tests =
+  [
+    case "now is monotonically non-decreasing" (fun () ->
+        let prev = ref (Timer.now ()) in
+        for _ = 1 to 1000 do
+          let t = Timer.now () in
+          checkb "no backwards step" true (t >= !prev);
+          prev := t
+        done);
+    case "elapsed is never negative" (fun () ->
+        let t0 = Timer.now () in
+        checkb "instant" true (Timer.elapsed t0 >= 0.0);
+        (* a reference point from the future must clamp, not go negative *)
+        checkb "future origin clamps to zero" true
+          (Timer.elapsed (t0 +. 3600.0) = 0.0));
+    case "time measures and returns the result" (fun () ->
+        let x, dt = Timer.time (fun () -> 21 * 2) in
+        checki "result" 42 x;
+        checkb "non-negative duration" true (dt >= 0.0));
+  ]
+
+(* ---------- Pool ---------- *)
+
+let pool_tests =
+  [
+    case "results land at their index, any jobs value" (fun () ->
+        let expected = Array.init 100 (fun i -> i * i) in
+        List.iter
+          (fun jobs ->
+            let got =
+              Pool.run ~jobs ~n:100
+                ~init:(fun () -> ())
+                ~body:(fun () i -> i * i)
+                ()
+            in
+            check
+              (Alcotest.array Alcotest.int)
+              (Printf.sprintf "jobs=%d" jobs)
+              expected got)
+          [ 1; 2; 4; 7 ]);
+    case "more jobs than items" (fun () ->
+        let got =
+          Pool.run ~jobs:8 ~n:3 ~init:(fun () -> ()) ~body:(fun () i -> i) ()
+        in
+        check (Alcotest.array Alcotest.int) "tiny range" [| 0; 1; 2 |] got);
+    case "empty range" (fun () ->
+        let got =
+          Pool.run ~jobs:4 ~n:0 ~init:(fun () -> ()) ~body:(fun () i -> i) ()
+        in
+        checki "no items" 0 (Array.length got));
+    case "init runs once per worker and teardown releases it" (fun () ->
+        let inits = Atomic.make 0 and teardowns = Atomic.make 0 in
+        let _ =
+          Pool.run ~jobs:3 ~n:50
+            ~init:(fun () -> Atomic.fetch_and_add inits 1)
+            ~teardown:(fun _ -> ignore (Atomic.fetch_and_add teardowns 1))
+            ~body:(fun w _ -> w)
+            ()
+        in
+        let i = Atomic.get inits in
+        checkb "1 <= inits <= jobs" true (i >= 1 && i <= 3);
+        checki "teardown per init" i (Atomic.get teardowns));
+    case "a worker exception propagates" (fun () ->
+        Alcotest.check_raises "body failure" (Failure "boom") (fun () ->
+            ignore
+              (Pool.run ~jobs:4 ~n:64
+                 ~init:(fun () -> ())
+                 ~body:(fun () i -> if i = 13 then failwith "boom" else i)
+                 ())));
+    case "invalid arguments raise" (fun () ->
+        Alcotest.check_raises "jobs 0"
+          (Invalid_argument "Pool.run: jobs must be >= 1") (fun () ->
+            ignore
+              (Pool.run ~jobs:0 ~n:1 ~init:(fun () -> ())
+                 ~body:(fun () i -> i) ()));
+        Alcotest.check_raises "negative n"
+          (Invalid_argument "Pool.run: negative item count") (fun () ->
+            ignore
+              (Pool.run ~jobs:1 ~n:(-1) ~init:(fun () -> ())
+                 ~body:(fun () i -> i) ())));
+    case "default_jobs is a sane domain count" (fun () ->
+        let j = Pool.default_jobs () in
+        checkb "1 <= jobs <= 8" true (j >= 1 && j <= 8));
   ]
 
 (* ---------- Table ---------- *)
@@ -241,4 +395,5 @@ let table_tests =
   ]
 
 let tests =
-  vec_tests @ rng_tests @ stats_tests @ table_tests
+  vec_tests @ rng_tests @ stats_tests @ timer_tests @ pool_tests
+  @ table_tests

@@ -26,5 +26,6 @@ let () =
       ("io-compact", Suite_io_compact.tests);
       ("robustness", Suite_robustness.tests);
       ("noise", Suite_noise.tests);
+      ("parallel", Suite_parallel.tests);
       ("properties", Suite_props.tests);
     ]
