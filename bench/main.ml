@@ -546,6 +546,37 @@ let campaign_bench ~trials () =
       "WARNING: jobs=2 slower than jobs=1 (%.0f vs %.0f trials/s) — expected \
        on a single-core runner, a regression on multi-core hardware\n"
       (tps_of 2) j1_tps;
+  (* Traced twin: the same sharded run with tracing on must reproduce the
+     jobs=1 rows bit-for-bit (tracing reads only clocks and counters, never
+     an RNG stream). *)
+  let module Trace = Fpva_util.Trace in
+  Trace.reset ();
+  Trace.enable ();
+  let traced = Fpva_sim.Campaign.run ~config ~jobs:2 fpva ~vectors in
+  Trace.disable ();
+  let traced_rows_identical =
+    List.length traced.Fpva_sim.Campaign.rows = List.length j1_rows
+    && List.for_all2 row_eq traced.Fpva_sim.Campaign.rows j1_rows
+  in
+  Printf.printf "traced jobs=2 rows identical to untraced jobs=1: %b\n"
+    traced_rows_identical;
+  if not traced_rows_identical then
+    Printf.printf "ERROR: tracing changed the campaign rows\n";
+  let metrics_json =
+    let entries =
+      List.filter_map
+        (fun (name, v) ->
+          if v = 0 then None
+          else Some (Printf.sprintf "\"%s\": %d" name v))
+        (Trace.counters ())
+      @ List.filter_map
+          (fun (name, v) ->
+            if v = 0.0 then None
+            else Some (Printf.sprintf "\"%s\": %.1f" name v))
+          (Trace.gauges ())
+    in
+    String.concat ", " entries
+  in
   let oc = open_out "BENCH_campaign.json" in
   Printf.fprintf oc
     "{\n\
@@ -565,7 +596,9 @@ let campaign_bench ~trials () =
     \  \"parallel_speedup_j4_vs_j1\": %.2f,\n\
     \  \"scaling_efficiency_j4\": %.2f,\n\
     \  \"sharded_rows_identical_across_jobs\": %b,\n\
-    \  \"jobs2_not_slower\": %b\n\
+    \  \"jobs2_not_slower\": %b,\n\
+    \  \"traced_rows_identical\": %b,\n\
+    \  \"metrics\": {%s}\n\
      }\n"
     suite.Pipeline.total trials total_trials ideal_tps noisy_tps legacy_tps
     speedup agreement
@@ -573,10 +606,10 @@ let campaign_bench ~trials () =
     j1_tps (tps_of 2) (tps_of 4)
     (tps_of 4 /. Float.max j1_tps 1e-9)
     (tps_of 4 /. (4.0 *. Float.max j1_tps 1e-9))
-    rows_identical jobs2_not_slower;
+    rows_identical jobs2_not_slower traced_rows_identical metrics_json;
   close_out oc;
   Printf.printf "wrote BENCH_campaign.json\n";
-  agreement && rows_identical
+  agreement && rows_identical && traced_rows_identical
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

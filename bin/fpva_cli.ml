@@ -143,9 +143,46 @@ let strict_t =
              this flag a degraded-but-well-formed suite exits 0." in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+(* ---------- observability ---------- *)
+
+let trace_t =
+  let doc =
+    "Write line-delimited JSON trace events (pipeline stages, solver \
+     spans, campaign shards) to FILE."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_t =
+  let doc =
+    "Print the collected counters and gauges (simplex pivots, B&B nodes, \
+     campaign throughput, ...) after the run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Enable tracing around [f] when asked; otherwise [f] runs with tracing
+   off, i.e. with zero overhead and bit-identical results.  Call this only
+   after argument validation — [exit] inside [f] would skip the flush. *)
+let with_observability ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    let oc = Option.map open_out trace in
+    let sinks =
+      match oc with
+      | Some oc -> [ Fpva_util.Trace.json_sink oc ]
+      | None -> []
+    in
+    Fpva_util.Trace.enable ~sinks ();
+    Fun.protect
+      ~finally:(fun () ->
+        Fpva_util.Trace.disable ();
+        Option.iter close_out oc;
+        if metrics then print_string (Fpva_util.Trace.metrics_summary ()))
+      f
+  end
+
 let generate_cmd =
   let run name rows cols file direct block no_leak routing render sequence
-      output time_limit strict =
+      output time_limit strict trace metrics =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~routing ~direct ~block ~no_leak () in
     let budget =
@@ -153,50 +190,56 @@ let generate_cmd =
       | Some s -> Budget.of_seconds s
       | None -> Budget.unlimited
     in
-    let result =
-      match Pipeline.run ~config ~budget fpva with
-      | Ok result -> result
-      | Error msg ->
-        prerr_endline ("error: invalid layout: " ^ msg);
-        exit 2
+    let strict_failure =
+      with_observability ~trace ~metrics (fun () ->
+          let result =
+            match Pipeline.run ~config ~budget fpva with
+            | Ok result -> result
+            | Error msg ->
+              prerr_endline ("error: invalid layout: " ^ msg);
+              exit 2
+          in
+          print_endline (Report.summary result);
+          print_endline (Report.degradation_summary result);
+          let ok = Pipeline.suite_ok result in
+          if not ok then print_endline "WARNING: suite failed self-checks";
+          if Pipeline.degraded result then
+            print_endline "WARNING: generation degraded (see per-stage report)";
+          if sequence then begin
+            let before, after =
+              Sequencer.improvement fpva result.Pipeline.vectors
+            in
+            Printf.printf
+              "switching cost: %d actuations in generation order, %d after \
+               reordering (%.0f%% saved)\n"
+              before after
+              (100.0
+              *. float_of_int (before - after)
+              /. float_of_int (max before 1))
+          end;
+          (match output with
+          | Some path ->
+            Suite_io.write_file path fpva result.Pipeline.vectors;
+            Printf.printf "suite written to %s\n" path
+          | None -> ());
+          if render then begin
+            print_endline "\nFlow paths (digit = 1-based path index mod 10):";
+            print_endline (Report.render_flow_paths fpva result.Pipeline.flow);
+            List.iteri
+              (fun i cut ->
+                Printf.printf "\nCut-set %d:\n" (i + 1);
+                print_endline (Report.render_cut fpva cut))
+              result.Pipeline.cuts
+          end;
+          strict && (Pipeline.degraded result || not ok))
     in
-    print_endline (Report.summary result);
-    print_endline (Report.degradation_summary result);
-    let ok = Pipeline.suite_ok result in
-    if not ok then print_endline "WARNING: suite failed self-checks";
-    if Pipeline.degraded result then
-      print_endline "WARNING: generation degraded (see per-stage report)";
-    if sequence then begin
-      let before, after =
-        Sequencer.improvement fpva result.Pipeline.vectors
-      in
-      Printf.printf
-        "switching cost: %d actuations in generation order, %d after \
-         reordering (%.0f%% saved)\n"
-        before after
-        (100.0 *. float_of_int (before - after) /. float_of_int (max before 1))
-    end;
-    (match output with
-    | Some path ->
-      Suite_io.write_file path fpva result.Pipeline.vectors;
-      Printf.printf "suite written to %s\n" path
-    | None -> ());
-    if render then begin
-      print_endline "\nFlow paths (digit = 1-based path index mod 10):";
-      print_endline (Report.render_flow_paths fpva result.Pipeline.flow);
-      List.iteri
-        (fun i cut ->
-          Printf.printf "\nCut-set %d:\n" (i + 1);
-          print_endline (Report.render_cut fpva cut))
-        result.Pipeline.cuts
-    end;
-    if strict && (Pipeline.degraded result || not ok) then exit 1
+    if strict_failure then exit 1
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
       $ no_leak_t $ routing_t $ render_t $ sequence_t $ output_t
-      $ time_limit_t $ strict_t)
+      $ time_limit_t $ strict_t $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate the complete test-vector suite.")
@@ -272,7 +315,7 @@ let resolve_jobs jobs =
 
 let campaign_cmd =
   let run name rows cols direct block no_leak trials seed max_faults classes
-      noise repeats jobs =
+      noise repeats jobs trace metrics =
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     let classes =
@@ -291,38 +334,39 @@ let campaign_cmd =
       exit 2
     end;
     let jobs = resolve_jobs jobs in
-    let result = Pipeline.run_exn ~config fpva in
-    print_endline (Report.summary result);
-    let campaign_config =
-      { Fpva_sim.Campaign.trials;
-        seed;
-        classes;
-        fault_counts = List.init max_faults (fun i -> i + 1) }
-    in
-    if noise > 0.0 || repeats > 1 then begin
-      let noise_config =
-        { Fpva_sim.Campaign.base = campaign_config;
-          noise_levels = [ noise ];
-          repeats }
-      in
-      let r =
-        Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs fpva
-          ~vectors:result.Pipeline.vectors
-      in
-      Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r
-    end
-    else
-      let r =
-        Fpva_sim.Campaign.run ~config:campaign_config ~jobs fpva
-          ~vectors:result.Pipeline.vectors
-      in
-      Format.printf "%a@?" Fpva_sim.Campaign.pp_result r
+    with_observability ~trace ~metrics (fun () ->
+        let result = Pipeline.run_exn ~config fpva in
+        print_endline (Report.summary result);
+        let campaign_config =
+          { Fpva_sim.Campaign.trials;
+            seed;
+            classes;
+            fault_counts = List.init max_faults (fun i -> i + 1) }
+        in
+        if noise > 0.0 || repeats > 1 then begin
+          let noise_config =
+            { Fpva_sim.Campaign.base = campaign_config;
+              noise_levels = [ noise ];
+              repeats }
+          in
+          let r =
+            Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs fpva
+              ~vectors:result.Pipeline.vectors
+          in
+          Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r
+        end
+        else
+          let r =
+            Fpva_sim.Campaign.run ~config:campaign_config ~jobs fpva
+              ~vectors:result.Pipeline.vectors
+          in
+          Format.printf "%a@?" Fpva_sim.Campaign.pp_result r)
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
       $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t
-      $ jobs_t)
+      $ jobs_t $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -366,7 +410,7 @@ let confidence_t =
 
 let diagnose_cmd =
   let run name rows cols file direct block no_leak inject noise repeats
-      confidence seed jobs =
+      confidence seed jobs trace metrics =
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     if noise < 0.0 || noise >= 1.0 then begin
@@ -378,6 +422,17 @@ let diagnose_cmd =
       exit 2
     end;
     let jobs = resolve_jobs jobs in
+    let injected =
+      match inject with
+      | None -> None
+      | Some spec -> (
+        match parse_fault spec with
+        | Ok fault -> Some fault
+        | Error msg ->
+          prerr_endline ("error: " ^ msg);
+          exit 2)
+    in
+    with_observability ~trace ~metrics @@ fun () ->
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let faults = Fpva_sim.Diagnosis.single_faults fpva in
@@ -391,14 +446,9 @@ let diagnose_cmd =
        (resolution %.2f)\n"
       (List.length faults) (List.length classes)
       (Fpva_sim.Diagnosis.resolution dict);
-    match inject with
+    match injected with
     | None -> ()
-    | Some spec -> (
-      match parse_fault spec with
-      | Error msg ->
-        prerr_endline ("error: " ^ msg);
-        exit 2
-      | Ok fault ->
+    | Some fault -> (
         let noisy = noise > 0.0 || repeats > 1 in
         let observed =
           if noisy then begin
@@ -477,7 +527,7 @@ let diagnose_cmd =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
       $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t
-      $ jobs_t)
+      $ jobs_t $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "diagnose"

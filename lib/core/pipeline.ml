@@ -1,5 +1,9 @@
 open Fpva_grid
 module Timer = Fpva_util.Timer
+module Trace = Fpva_util.Trace
+
+let runs_c = Trace.counter "pipeline.runs"
+let vectors_c = Trace.counter "pipeline.vectors"
 
 type config = {
   engine : Cover.engine;
@@ -90,6 +94,20 @@ let stage_report ~trusted_engine name stage_budget (stats : Cover.stats)
     fallbacks = stats.Cover.fallbacks;
     failures = stats.Cover.failures;
   }
+
+(* Stage spans reuse the duration already measured for the report, so the
+   trace agrees with the degradation summary to the digit. *)
+let trace_stage r =
+  if Trace.is_enabled () then begin
+    let status, extra =
+      match r.status with
+      | Exact -> ("exact", [])
+      | Fell_back_to_search -> ("fell_back", [])
+      | Partial reason -> ("partial", [ ("reason", reason) ])
+    in
+    Trace.emit_span "pipeline.stage" ~dur:r.seconds
+      ~tags:(("stage", r.stage) :: ("status", status) :: extra)
+  end
 
 let rec run ?(config = default_config) ?(budget = Budget.unlimited) fpva =
   match Fpva.validate fpva with
@@ -234,6 +252,13 @@ and run_validated config budget fpva =
   let np = List.length flow in
   let ncut = List.length cuts + List.length pierced in
   let nl = List.length leak in
+  if Trace.is_enabled () then begin
+    Trace.incr runs_c;
+    Trace.add vectors_c (List.length vectors);
+    List.iter trace_stage [ flow_report; cut_report; leak_report ];
+    Trace.emit_span "pipeline.run" ~dur:(tp +. tc +. tl)
+      ~tags:[ ("vectors", string_of_int (List.length vectors)) ]
+  end;
   {
     fpva;
     flow;

@@ -56,24 +56,49 @@ let write_file path fpva vectors =
 
 (* ---------- parsing ---------- *)
 
-type line = { num : int; words : string list; raw : string }
+(* [body] is the comment-stripped, trimmed text of the line: every branch
+   below — including the payload slice in the [cells] branch — must work
+   from it, never from the raw line, or a trailing [# comment] leaks into
+   the payload. *)
+type line = { num : int; words : string list; body : string }
 
 let tokenize text =
-  List.filteri (fun _ _ -> true) (String.split_on_char '\n' text)
+  String.split_on_char '\n' text
   |> List.mapi (fun i raw -> (i + 1, raw))
   |> List.filter_map (fun (num, raw) ->
          let body =
-           match String.index_opt raw '#' with
-           | Some k -> String.sub raw 0 k
-           | None -> raw
+           String.trim
+             (match String.index_opt raw '#' with
+             | Some k -> String.sub raw 0 k
+             | None -> raw)
          in
          let words =
-           String.split_on_char ' ' (String.trim body)
-           |> List.filter (fun w -> w <> "")
+           String.split_on_char ' ' body |> List.filter (fun w -> w <> "")
          in
-         if words = [] then None else Some { num; words; raw })
+         if words = [] then None else Some { num; words; body })
 
 let fail num fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" num s)) fmt
+
+let int_word num what w =
+  match int_of_string_opt w with
+  | Some v -> Ok v
+  | None -> fail num "bad %s %S" what w
+
+let port_word fpva num what w =
+  let ( let* ) = Result.bind in
+  let* p = int_word num what w in
+  let nports = Array.length (Fpva.ports fpva) in
+  if p < 0 || p >= nports then
+    fail num "%s %d out of range (architecture has %d ports)" what p nports
+  else Ok p
+
+let valve_word fpva num what w =
+  let ( let* ) = Result.bind in
+  let* v = int_word num what w in
+  let nv = Fpva.num_valves fpva in
+  if v < 0 || v >= nv then
+    fail num "%s %d out of range (architecture has %d valves)" what v nv
+  else Ok v
 
 let parse_cells num s =
   let parts = String.split_on_char ';' s in
@@ -133,14 +158,19 @@ let of_string fpva text =
       and parse_vector acc vnum label body =
         let* kind, body =
           match body with
-          | { words = [ "kind"; "flow"; s; t ]; _ } :: rest ->
-            Ok (`Path (`Flow, int_of_string s, int_of_string t), rest)
-          | { words = [ "kind"; "leak"; s; t ]; _ } :: rest ->
-            Ok (`Path (`Leak, int_of_string s, int_of_string t), rest)
-          | { words = [ "kind"; "pierced"; s; t; v ]; _ } :: rest ->
-            Ok
-              ( `Path (`Pierced (int_of_string v), int_of_string s, int_of_string t),
-                rest )
+          | { num; words = [ "kind"; "flow"; s; t ]; _ } :: rest ->
+            let* s = port_word fpva num "source port" s in
+            let* t = port_word fpva num "sink port" t in
+            Ok (`Path (`Flow, s, t), rest)
+          | { num; words = [ "kind"; "leak"; s; t ]; _ } :: rest ->
+            let* s = port_word fpva num "source port" s in
+            let* t = port_word fpva num "sink port" t in
+            Ok (`Path (`Leak, s, t), rest)
+          | { num; words = [ "kind"; "pierced"; s; t; v ]; _ } :: rest ->
+            let* s = port_word fpva num "source port" s in
+            let* t = port_word fpva num "sink port" t in
+            let* v = valve_word fpva num "pierced valve" v in
+            Ok (`Path (`Pierced v, s, t), rest)
           | { words = [ "kind"; "cut" ]; _ } :: rest -> Ok (`Cut, rest)
           | _ ->
             let num = match body with { num; _ } :: _ -> num | [] -> vnum in
@@ -148,11 +178,9 @@ let of_string fpva text =
         in
         let* structure, body =
           match (kind, body) with
-          | `Path (style, s, t), { num; words = "cells" :: _; raw } :: rest ->
+          | `Path (style, s, t), { num; words = "cells" :: _; body } :: rest ->
             let payload =
-              String.trim
-                (String.sub (String.trim raw) 5
-                   (String.length (String.trim raw) - 5))
+              String.trim (String.sub body 5 (String.length body - 5))
             in
             let* cells = parse_cells num payload in
             let* path = path_of_cells fpva num ~source:s ~sink:t cells in
@@ -168,9 +196,8 @@ let of_string fpva text =
                     |> List.fold_left
                          (fun acc x ->
                            let* acc = acc in
-                           match int_of_string_opt x with
-                           | Some v -> Ok (v :: acc)
-                           | None -> fail num "bad valve id %S" x)
+                           let* v = valve_word fpva num "valve id" x in
+                           Ok (v :: acc))
                          (Ok [])
                   in
                   Ok (List.rev_append parsed acc))
@@ -204,20 +231,31 @@ let of_string fpva text =
           | { num; _ } :: _ -> fail num "expected 'end'"
           | [] -> fail vnum "missing 'end'"
         in
-        let vector =
-          match structure with
-          | `Path (`Flow, path) -> Test_vector.of_flow_path ~label fpva path
-          | `Path (`Leak, path) -> Test_vector.of_leak_path ~label fpva path
-          | `Path (`Pierced v, path) ->
-            Test_vector.of_pierced_path ~label fpva path v
-          | `Cut cut -> Test_vector.of_cut_set ~label fpva cut
+        (* Belt and braces: the range checks above should make regeneration
+           total, but a parser must never raise on untrusted input, so any
+           stray exception from the constructors becomes an [Error]. *)
+        let* vector =
+          match
+            match structure with
+            | `Path (`Flow, path) -> Test_vector.of_flow_path ~label fpva path
+            | `Path (`Leak, path) -> Test_vector.of_leak_path ~label fpva path
+            | `Path (`Pierced v, path) ->
+              Test_vector.of_pierced_path ~label fpva path v
+            | `Cut cut -> Test_vector.of_cut_set ~label fpva cut
+          with
+          | v -> Ok v
+          | exception e ->
+            fail vnum "cannot regenerate vector: %s" (Printexc.to_string e)
         in
         if vector.Test_vector.open_valves <> states then
           fail vnum "states do not match the regenerated structure"
         else if vector.Test_vector.golden <> golden then
           fail vnum "golden response does not match the architecture"
         else begin
-          match Test_vector.well_formed fpva vector with
+          match
+            try Test_vector.well_formed fpva vector
+            with e -> Error (Printexc.to_string e)
+          with
           | Ok () -> vectors (vector :: acc) body
           | Error msg -> fail vnum "malformed vector: %s" msg
         end

@@ -1,3 +1,12 @@
+module Trace = Fpva_util.Trace
+module Timer = Fpva_util.Timer
+
+let solves_c = Trace.counter "bb.solves"
+let nodes_c = Trace.counter "bb.nodes"
+let prunes_c = Trace.counter "bb.prunes"
+let incumbents_c = Trace.counter "bb.incumbents"
+let truncations_c = Trace.counter "bb.truncations"
+
 type options = {
   max_nodes : int;
   time_limit : float;
@@ -79,6 +88,7 @@ let solve ?(options = default_options) lp =
   let accept x =
     let obj = Lp.objective_value lp x in
     if better sense obj !incumbent_obj then begin
+      Trace.incr incumbents_c;
       incumbent := Some { Simplex.objective = obj; values = x };
       incumbent_obj := obj;
       match options.log with
@@ -104,6 +114,7 @@ let solve ?(options = default_options) lp =
         truncated := true
       else begin
         incr nodes;
+        Trace.incr nodes_c;
         (match
            Simplex.solve ?max_iters:options.lp_iteration_limit
              ~lower_override:node.lower ~upper_override:node.upper lp
@@ -124,7 +135,8 @@ let solve ?(options = default_options) lp =
             !incumbent <> None
             && not (bound_allows_improvement sense sol.objective !incumbent_obj)
           in
-          if not prune then begin
+          if prune then Trace.incr prunes_c
+          else begin
             match pick_branch_var lp eps sol.values with
             | None -> accept sol.values
             | Some j ->
@@ -154,17 +166,40 @@ let solve ?(options = default_options) lp =
                 in
                 stack := first :: second :: !stack
               end
+              else Trace.incr prunes_c
           end);
         loop ()
       end
   in
   loop ();
+  if !truncated then Trace.incr truncations_c;
   match (!incumbent, !truncated, !root_unbounded) with
   | _, _, true -> Unbounded
   | Some sol, false, _ -> Optimal sol
   | Some sol, true, _ -> Feasible sol
   | None, false, _ -> Infeasible
   | None, true, _ -> Unknown
+
+let outcome_tag = function
+  | Optimal _ -> "optimal"
+  | Feasible _ -> "feasible"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Unknown -> "unknown"
+
+let solve ?options lp =
+  if not (Trace.is_enabled ()) then solve ?options lp
+  else begin
+    Trace.incr solves_c;
+    let t0 = Timer.now () in
+    let before = Trace.count nodes_c in
+    let outcome = solve ?options lp in
+    Trace.emit_span "bb.solve" ~dur:(Timer.elapsed t0)
+      ~tags:
+        [ ("outcome", outcome_tag outcome);
+          ("nodes", string_of_int (Trace.count nodes_c - before)) ];
+    outcome
+  end
 
 let solution_values = function
   | Optimal sol | Feasible sol -> Some sol.values

@@ -15,6 +15,14 @@
  * what makes the composite phase 1 converge.
  *)
 
+module Trace = Fpva_util.Trace
+module Timer = Fpva_util.Timer
+
+let solves_c = Trace.counter "simplex.solves"
+let iterations_c = Trace.counter "simplex.iterations"
+let pivots_c = Trace.counter "simplex.pivots"
+let degenerate_c = Trace.counter "simplex.degenerate_steps"
+
 type solution = { objective : float; values : float array }
 
 type status = Optimal of solution | Infeasible | Unbounded | Iteration_limit
@@ -323,7 +331,13 @@ let extract st lp =
   done;
   { objective = Lp.objective_value lp values; values }
 
-let solve ?max_iters ?lower_override ?upper_override lp =
+let status_tag = function
+  | Optimal _ -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Iteration_limit -> "iteration_limit"
+
+let solve_untraced ?max_iters ?lower_override ?upper_override lp =
   let st = build lp lower_override upper_override in
   (* A variable with lower > upper (empty branch-and-bound domain) makes the
      whole problem trivially infeasible. *)
@@ -351,6 +365,7 @@ let solve ?max_iters ?lower_override ?upper_override lp =
         else begin
           if !iters >= limit then raise (Stop Iteration_limit);
           incr iters;
+          Trace.incr iterations_c;
           if infeas < !last_metric -. 1e-10 then begin
             last_metric := infeas;
             stalls := 0
@@ -376,6 +391,8 @@ let solve ?max_iters ?lower_override ?upper_override lp =
                  as numerical failure. *)
               raise (Stop Iteration_limit)
             else begin
+              Trace.incr pivots_c;
+              if t = 0.0 then Trace.incr degenerate_c;
               pivot st j dir t w blk;
               phase1_loop ()
             end
@@ -389,6 +406,7 @@ let solve ?max_iters ?lower_override ?upper_override lp =
       let rec phase2_loop () =
         if !iters >= limit then raise (Stop Iteration_limit);
         incr iters;
+        Trace.incr iterations_c;
         for i = 0 to st.m - 1 do
           cb.(i) <- st.cost.(st.basis.(i))
         done;
@@ -410,6 +428,8 @@ let solve ?max_iters ?lower_override ?upper_override lp =
           let t, blk = ratio_test st ~phase1:false j dir w in
           if t = infinity then raise (Stop Unbounded)
           else begin
+            Trace.incr pivots_c;
+            if t = 0.0 then Trace.incr degenerate_c;
             pivot st j dir t w blk;
             (* Phase-2 pivots can drift a basic variable slightly out of
                bounds; large violations mean we must repair via phase 1. *)
@@ -423,4 +443,16 @@ let solve ?max_iters ?lower_override ?upper_override lp =
       phase2_loop ();
       Optimal (extract st lp)
     with Stop status -> status
+  end
+
+let solve ?max_iters ?lower_override ?upper_override lp =
+  if not (Trace.is_enabled ()) then
+    solve_untraced ?max_iters ?lower_override ?upper_override lp
+  else begin
+    Trace.incr solves_c;
+    let t0 = Timer.now () in
+    let status = solve_untraced ?max_iters ?lower_override ?upper_override lp in
+    Trace.emit_span "simplex.solve" ~dur:(Timer.elapsed t0)
+      ~tags:[ ("status", status_tag status) ];
+    status
   end

@@ -1,6 +1,12 @@
 module Rng = Fpva_util.Rng
 module Pool = Fpva_util.Pool
 module Timer = Fpva_util.Timer
+module Trace = Fpva_util.Trace
+
+let trials_c = Trace.counter "campaign.trials"
+let noisy_trials_c = Trace.counter "campaign.noisy_trials"
+let tps_g = Trace.gauge "campaign.trials_per_sec"
+let noisy_tps_g = Trace.gauge "campaign.noisy_trials_per_sec"
 
 type config = {
   trials : int;
@@ -171,7 +177,18 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
               outcomes.((fc_idx * trials) + i)))
         config.fault_counts
   in
-  { rows; wall_seconds = Timer.elapsed t0 }
+  let wall = Timer.elapsed t0 in
+  if Trace.is_enabled () then begin
+    let total = config.trials * List.length config.fault_counts in
+    Trace.add trials_c total;
+    if wall > 0.0 then Trace.set_gauge tps_g (float_of_int total /. wall);
+    Trace.emit_span "campaign.run" ~dur:wall
+      ~tags:
+        [ ("trials", string_of_int total);
+          ("jobs", string_of_int jobs);
+          ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy") ]
+  end;
+  { rows; wall_seconds = wall }
 
 let effective_trials row = row.trials - row.void_draws
 
@@ -388,8 +405,22 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
                base.fault_counts)
            config.noise_levels)
   in
-  { noise_rows = rows; repeats = config.repeats;
-    n_wall_seconds = Timer.elapsed t0 }
+  let wall = Timer.elapsed t0 in
+  if Trace.is_enabled () then begin
+    let total =
+      base.trials * List.length base.fault_counts
+      * List.length config.noise_levels
+    in
+    Trace.add noisy_trials_c total;
+    if wall > 0.0 then
+      Trace.set_gauge noisy_tps_g (float_of_int total /. wall);
+    Trace.emit_span "campaign.run_noisy" ~dur:wall
+      ~tags:
+        [ ("trials", string_of_int total);
+          ("jobs", string_of_int jobs);
+          ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy") ]
+  end;
+  { noise_rows = rows; repeats = config.repeats; n_wall_seconds = wall }
 
 let pp_noise_row ppf row =
   Format.fprintf ppf

@@ -1,9 +1,13 @@
 let detects_matrix fpva ~vectors ~faults =
+  (* One compiled handle for the whole matrix: the per-call [Simulator.make]
+     hiding in [Simulator.detects] recompiled the layout for every
+     (vector, fault) pair. *)
+  let h = Simulator.make fpva in
   let vecs = Array.of_list vectors in
   Array.map
     (fun v ->
       Array.of_list
-        (List.map (fun f -> Simulator.detects fpva ~faults:[ f ] v) faults))
+        (List.map (fun f -> Simulator.detects_h h ~faults:[ f ] v) faults))
     vecs
 
 let compact ?faults fpva vectors =
@@ -38,7 +42,14 @@ let compact ?faults fpva vectors =
         end
       end
     done;
-    assert (!best >= 0);
+    (* Unreachable if the detection matrix is consistent (every still-needed
+       fault was marked detectable by some vector), but an [assert] vanishes
+       in release builds and the [kept.(-1)] that follows would abort with a
+       baffling message. *)
+    if !best < 0 then
+      invalid_arg
+        "Compaction.compact: no remaining vector detects a still-needed \
+         fault (inconsistent detection matrix)";
     kept.(!best) <- true;
     Array.iteri (fun j d -> if d then need.(j) <- false) matrix.(!best)
   done;

@@ -21,18 +21,28 @@ let syndrome_of fpva ~vectors ~faults =
   syndrome_of_h (Simulator.make fpva) ~vectors ~faults
 
 let build ?(jobs = 1) fpva ~vectors ~faults =
-  (* Warm the grid's shared caches before any domain spawns; after this the
-     workers only read the Fpva value, each through its own handle. *)
-  ignore (Simulator.make fpva);
-  let vecs = Array.of_list vectors in
-  let fa = Array.of_list faults in
-  let syndromes =
-    Fpva_util.Pool.run ~jobs ~n:(Array.length fa)
-      ~init:(fun () -> Simulator.make fpva)
-      ~body:(fun h i -> syndrome_of_h h ~vectors ~faults:[ fa.(i) ])
-      ()
+  let tags =
+    if Fpva_util.Trace.is_enabled () then
+      [ ("faults", string_of_int (List.length faults));
+        ("vectors", string_of_int (List.length vectors));
+        ("jobs", string_of_int jobs) ]
+    else []
   in
-  { vectors = vecs; entries = Array.mapi (fun i s -> (fa.(i), s)) syndromes }
+  Fpva_util.Trace.with_span "diagnosis.build" ~tags
+    (fun () ->
+      (* Warm the grid's shared caches before any domain spawns; after this
+         the workers only read the Fpva value, each through its own
+         handle. *)
+      ignore (Simulator.make fpva);
+      let vecs = Array.of_list vectors in
+      let fa = Array.of_list faults in
+      let syndromes =
+        Fpva_util.Pool.run ~jobs ~n:(Array.length fa)
+          ~init:(fun () -> Simulator.make fpva)
+          ~body:(fun h i -> syndrome_of_h h ~vectors ~faults:[ fa.(i) ])
+          ()
+      in
+      { vectors = vecs; entries = Array.mapi (fun i s -> (fa.(i), s)) syndromes })
 
 let all_pass s = Array.for_all not s
 

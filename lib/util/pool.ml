@@ -14,19 +14,30 @@
 
 let default_jobs () = min (Domain.recommended_domain_count ()) 8
 
+let items_c = Trace.counter "pool.items"
+
 let sequential ~n ~init ~teardown ~body =
+  let t0 = if Trace.is_enabled () then Timer.now () else 0.0 in
   let w = init () in
-  Fun.protect
-    ~finally:(fun () -> match teardown with Some f -> f w | None -> ())
-    (fun () ->
-      if n = 0 then [||]
-      else begin
-        let out = Array.make n (body w 0) in
-        for i = 1 to n - 1 do
-          out.(i) <- body w i
-        done;
-        out
-      end)
+  let out =
+    Fun.protect
+      ~finally:(fun () -> match teardown with Some f -> f w | None -> ())
+      (fun () ->
+        if n = 0 then [||]
+        else begin
+          let out = Array.make n (body w 0) in
+          for i = 1 to n - 1 do
+            out.(i) <- body w i
+          done;
+          out
+        end)
+  in
+  if Trace.is_enabled () then begin
+    Trace.add items_c n;
+    Trace.emit_span "pool.worker" ~dur:(Timer.elapsed t0)
+      ~tags:[ ("worker", "0"); ("items", string_of_int n) ]
+  end;
+  out
 
 let run ~jobs ~n ~init ?teardown ~body () =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
@@ -42,7 +53,9 @@ let run ~jobs ~n ~init ?teardown ~body () =
     let results = Array.make n None in
     let failures = Array.make workers None in
     let work wid =
-      match init () with
+      let t0 = if Trace.is_enabled () then Timer.now () else 0.0 in
+      let claimed = ref 0 in
+      (match init () with
       | exception e -> failures.(wid) <- Some e
       | w ->
         (try
@@ -55,6 +68,7 @@ let run ~jobs ~n ~init ?teardown ~body () =
                  (* Disjoint indices: no two workers ever write one slot. *)
                  results.(i) <- Some (body w i)
                done;
+               claimed := !claimed + (hi - lo);
                loop ()
              end
            in
@@ -65,8 +79,14 @@ let run ~jobs ~n ~init ?teardown ~body () =
           try f w
           with e ->
             if Option.is_none failures.(wid) then failures.(wid) <- Some e)
-        | None -> ())
+        | None -> ()));
+      if Trace.is_enabled () then
+        Trace.emit_span "pool.worker" ~dur:(Timer.elapsed t0)
+          ~tags:
+            [ ("worker", string_of_int wid);
+              ("items", string_of_int !claimed) ]
     in
+    Trace.add items_c n;
     let domains =
       Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
     in

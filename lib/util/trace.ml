@@ -1,0 +1,238 @@
+(* Structured tracing and metrics.
+
+   Global-state design, deliberately: instrumentation points live in the
+   hottest loops of the library (simplex pivots, campaign trials), so call
+   sites must compile to "load one atomic bool, branch" when tracing is
+   off.  Threading a tracer value through every API would cost signature
+   churn everywhere and save nothing — there is one process-wide answer to
+   "is someone watching".
+
+   Concurrency: counters and gauges are atomics (bumped from pool workers);
+   sink emission is serialised by [sink_mutex].  The enabled flag is an
+   atomic read on every operation — a plain load on every major platform —
+   and is only written by [enable]/[disable], which the documented contract
+   restricts to the main domain while no workers run. *)
+
+type tags = (string * string) list
+
+type event = { ts : float; name : string; dur : float; tags : tags }
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let null_sink = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+(* ---------- global state ---------- *)
+
+let enabled = Atomic.make false
+
+let is_enabled () = Atomic.get enabled
+
+(* Span timestamps are relative to the most recent [enable]. *)
+let epoch = ref 0.0
+
+let installed_sinks : sink list ref = ref []
+
+let sink_mutex = Mutex.create ()
+
+let emit_event ev =
+  Mutex.lock sink_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink_mutex)
+    (fun () -> List.iter (fun s -> s.emit ev) !installed_sinks)
+
+(* ---------- counters and gauges ---------- *)
+
+(* The registry key is the name; the handle itself is just the cell, so hot
+   paths touch nothing but one atomic. *)
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+let registry_mutex = Mutex.create ()
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let gauge_registry : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl make name =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some x -> x
+      | None ->
+        let x = make () in
+        Hashtbl.add tbl name x;
+        x)
+
+let counter name = registered counter_registry (fun () -> Atomic.make 0) name
+
+let gauge name = registered gauge_registry (fun () -> Atomic.make 0.0) name
+
+let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c 1)
+
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c n)
+
+let count c = Atomic.get c
+
+let set_gauge g v = if Atomic.get enabled then Atomic.set g v
+
+let sorted_of_registry tbl value =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.fold (fun name x acc -> (name, value x) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let counters () = sorted_of_registry counter_registry (fun c -> count c)
+
+let gauges () = sorted_of_registry gauge_registry (fun g -> Atomic.get g)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counter_registry;
+      Hashtbl.iter (fun _ g -> Atomic.set g 0.0) gauge_registry)
+
+(* ---------- lifecycle ---------- *)
+
+let enable ?(sinks = []) () =
+  (* Replace the sink list under the emission lock so a straggler event
+     never sees a half-installed list, then restart the span clock and
+     finally flip the flag (flag last: events can only flow once the sinks
+     they should reach are in place). *)
+  Mutex.lock sink_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink_mutex)
+    (fun () -> Stdlib.( := ) installed_sinks sinks);
+  epoch := Timer.now ();
+  Atomic.set enabled true
+
+let disable () =
+  Atomic.set enabled false;
+  Mutex.lock sink_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink_mutex)
+    (fun () -> List.iter (fun s -> s.flush ()) !installed_sinks)
+
+(* ---------- events ---------- *)
+
+let instant ?(tags = []) name =
+  if Atomic.get enabled then
+    emit_event { ts = Timer.now () -. !epoch; name; dur = 0.0; tags }
+
+let emit_span ?(tags = []) name ~dur =
+  if Atomic.get enabled then
+    let ts = Float.max 0.0 (Timer.now () -. !epoch -. dur) in
+    emit_event { ts; name; dur; tags }
+
+let with_span ?(tags = []) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Timer.now () in
+    Fun.protect
+      ~finally:(fun () -> emit_span ~tags name ~dur:(Timer.now () -. t0))
+      f
+  end
+
+(* ---------- built-in sinks ---------- *)
+
+let buffer_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let json_line ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"ts\":%.9f,\"name\":" ev.ts);
+  buffer_add_json_string buf ev.name;
+  Buffer.add_string buf (Printf.sprintf ",\"dur\":%.9f,\"tags\":{" ev.dur);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buffer_add_json_string buf k;
+      Buffer.add_char buf ':';
+      buffer_add_json_string buf v)
+    ev.tags;
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf
+
+let json_sink oc =
+  { emit = (fun ev -> output_string oc (json_line ev));
+    flush = (fun () -> flush oc) }
+
+let collector () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); flush = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let summary_sink print =
+  (* name -> (count, total seconds, max seconds); spans and instants both
+     land here (an instant is a zero-duration span). *)
+  let agg : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  { emit =
+      (fun ev ->
+        match Hashtbl.find_opt agg ev.name with
+        | Some (n, total, mx) ->
+          Hashtbl.replace agg ev.name
+            (n + 1, total +. ev.dur, Float.max mx ev.dur)
+        | None ->
+          Hashtbl.add agg ev.name (1, ev.dur, ev.dur);
+          order := ev.name :: !order);
+    flush =
+      (fun () ->
+        if !order <> [] then begin
+          let table =
+            Table.create
+              [ ("span", Table.Left); ("count", Table.Right);
+                ("total(s)", Table.Right); ("mean(ms)", Table.Right);
+                ("max(ms)", Table.Right) ]
+          in
+          List.iter
+            (fun name ->
+              let n, total, mx = Hashtbl.find agg name in
+              Table.add_row table
+                [ name; string_of_int n; Printf.sprintf "%.3f" total;
+                  Printf.sprintf "%.3f" (1000.0 *. total /. float_of_int n);
+                  Printf.sprintf "%.3f" (1000.0 *. mx) ])
+            (List.rev !order);
+          print (Table.render table)
+        end) }
+
+(* ---------- metrics reporting ---------- *)
+
+let metrics_nonempty () =
+  List.exists (fun (_, v) -> v <> 0) (counters ())
+  || List.exists (fun (_, v) -> v <> 0.0) (gauges ())
+
+let metrics_table () =
+  let table = Table.create [ ("metric", Table.Left); ("value", Table.Right) ] in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Table.add_row table [ name; string_of_int v ])
+    (counters ());
+  List.iter
+    (fun (name, v) ->
+      if v <> 0.0 then Table.add_row table [ name; Printf.sprintf "%.3f" v ])
+    (gauges ());
+  table
+
+let metrics_summary () =
+  if not (metrics_nonempty ()) then "metrics: nothing recorded\n"
+  else "metrics:\n" ^ Table.render (metrics_table ()) ^ "\n"

@@ -105,6 +105,179 @@ let io_tests =
             | Error msg -> Alcotest.failf "read failed: %s" msg));
   ]
 
+(* ---------- Suite_io: malformed inputs never raise ---------- *)
+
+(* The parser contract is Error-not-exception on every malformed input. *)
+let expect_error t text =
+  match Suite_io.of_string t text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "parser raised %s" (Printexc.to_string e)
+
+(* Rewrite the first line satisfying [pred]; fails the test when no line
+   matches (the tamper would otherwise silently test nothing). *)
+let tamper_first_line pred f text =
+  let hit = ref false in
+  let lines =
+    List.map
+      (fun l ->
+        if (not !hit) && pred l then begin
+          hit := true;
+          f l
+        end
+        else l)
+      (String.split_on_char '\n' text)
+  in
+  if not !hit then Alcotest.fail "tamper target line not found";
+  String.concat "\n" lines
+
+let starts_with prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let suite_text =
+  lazy
+    (let t = Layouts.paper_array 5 in
+     let suite = Pipeline.run_exn t in
+     (t, suite.Pipeline.vectors, Suite_io.to_string t suite.Pipeline.vectors))
+
+let negative_tests =
+  [
+    case "non-integer kind ports yield Error, not Failure" (fun () ->
+        let t, _, text = Lazy.force suite_text in
+        expect_error t
+          (tamper_first_line (starts_with "kind flow")
+             (fun _ -> "kind flow x 1")
+             text);
+        expect_error t
+          (tamper_first_line (starts_with "kind flow")
+             (fun _ -> "kind leak 0 y")
+             text);
+        expect_error t
+          (tamper_first_line (starts_with "kind flow")
+             (fun _ -> "kind pierced 0 1 zz")
+             text));
+    case "out-of-range ports are rejected" (fun () ->
+        let t, _, text = Lazy.force suite_text in
+        expect_error t
+          (tamper_first_line (starts_with "kind flow")
+             (fun _ -> "kind flow 0 99")
+             text);
+        expect_error t
+          (tamper_first_line (starts_with "kind flow")
+             (fun _ -> "kind flow -1 1")
+             text));
+    case "bad cut valve ids are rejected" (fun () ->
+        let t, _, text = Lazy.force suite_text in
+        expect_error t
+          (tamper_first_line (starts_with "cut ")
+             (fun _ -> "cut 5;zz")
+             text);
+        expect_error t
+          (tamper_first_line (starts_with "cut ")
+             (fun _ -> "cut 99999")
+             text);
+        expect_error t
+          (tamper_first_line (starts_with "cut ") (fun _ -> "cut -3") text));
+    case "commented cells lines round-trip cleanly" (fun () ->
+        (* Regression: the cells branch used to slice the raw line, so a
+           trailing comment leaked into the payload. *)
+        let t, vectors, text = Lazy.force suite_text in
+        let commented =
+          String.split_on_char '\n' text
+          |> List.map (fun l ->
+                 if starts_with "cells " l then l ^ " # trailing comment"
+                 else l)
+          |> String.concat "\n"
+        in
+        match Suite_io.of_string t commented with
+        | Ok parsed -> checki "count" (List.length vectors) (List.length parsed)
+        | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  ]
+
+(* ---------- Suite_io: qcheck round-trip ---------- *)
+
+(* Fixture with all four vector kinds: the pipeline suite plus a
+   manufactured pierced probe (small suites do not always need one). *)
+let roundtrip_fixture =
+  lazy
+    (let t = Layouts.paper_array 5 in
+     let suite = Pipeline.run_exn t in
+     let vectors = suite.Pipeline.vectors in
+     let has_pierced =
+       List.exists
+         (fun v ->
+           match v.Test_vector.kind with
+           | Test_vector.Pierced _ -> true
+           | _ -> false)
+         vectors
+     in
+     let vectors =
+       if has_pierced then vectors
+       else
+         let pierced =
+           List.find_map
+             (fun p ->
+               List.find_map
+                 (fun v ->
+                   let cand = Test_vector.of_pierced_path t p v in
+                   match Test_vector.well_formed t cand with
+                   | Ok () -> Some cand
+                   | Error _ -> None)
+                 p.Flow_path.valve_ids)
+             suite.Pipeline.flow
+         in
+         match pierced with
+         | Some v -> vectors @ [ v ]
+         | None -> vectors
+     in
+     (t, vectors))
+
+let label_words =
+  [| "alpha"; "beta"; "gamma"; "delta"; "block 2"; "retest"; "probe" |]
+
+let random_label rng i =
+  let module R = Fpva_util.Rng in
+  let k = 1 + R.int rng 3 in
+  String.concat " "
+    (string_of_int i
+    :: List.init k (fun _ -> label_words.(R.int rng (Array.length label_words))))
+
+let roundtrip_prop seed =
+  let module R = Fpva_util.Rng in
+  let t, vectors = Lazy.force roundtrip_fixture in
+  let rng = R.create seed in
+  let relabeled =
+    List.mapi
+      (fun i v -> { v with Test_vector.label = random_label rng i })
+      vectors
+  in
+  let text = Suite_io.to_string t relabeled in
+  let commented =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           if l <> "" && R.int rng 3 = 0 then l ^ " # sprinkled comment"
+           else l)
+    |> String.concat "\n"
+  in
+  match Suite_io.of_string t commented with
+  | Error msg -> failwith ("round-trip parse failed: " ^ msg)
+  | Ok parsed ->
+    List.length parsed = List.length relabeled
+    && List.for_all2
+         (fun (a : Test_vector.t) (b : Test_vector.t) ->
+           a.Test_vector.label = b.Test_vector.label
+           && a.Test_vector.open_valves = b.Test_vector.open_valves
+           && a.Test_vector.golden = b.Test_vector.golden)
+         relabeled parsed
+
+let roundtrip_tests =
+  [
+    qcheck ~count:25 "suite round-trips with spaced labels and comments"
+      QCheck2.Gen.(int_bound 1_000_000)
+      roundtrip_prop;
+  ]
+
 (* ---------- Compaction ---------- *)
 
 let compaction_tests =
@@ -165,6 +338,36 @@ let compaction_tests =
         let compacted, _ = Compaction.compact t suite.Pipeline.vectors in
         let r = Compaction.compaction_ratio suite.Pipeline.vectors compacted in
         checkb "0 < r <= 1" true (r > 0.0 && r <= 1.0));
+    case "detection matrix agrees with the spec simulator" (fun () ->
+        (* detects_matrix now reuses one compiled Simulator handle across
+           all cells; pin it against the uncompiled spec reachability. *)
+        let t = Layouts.paper_array 5 in
+        let suite = Pipeline.run_exn t in
+        let vectors = suite.Pipeline.vectors in
+        let faults = Diagnosis.single_faults t in
+        let detects_spec (v : Test_vector.t) f =
+          let states =
+            Simulator.effective_states t ~faults:[ f ]
+              ~open_valves:v.Test_vector.open_valves
+          in
+          let obs =
+            Graph.pressurized_sinks_spec t ~open_edge:(fun e ->
+                match Fpva.valve_id_opt t e with
+                | Some vid -> states.(vid)
+                | None -> true)
+          in
+          obs <> v.Test_vector.golden
+        in
+        let m = Compaction.detects_matrix t ~vectors ~faults in
+        List.iteri
+          (fun i v ->
+            List.iteri
+              (fun j f ->
+                checkb
+                  (Printf.sprintf "cell (%d,%d)" i j)
+                  (detects_spec v f) m.(i).(j))
+              faults)
+          vectors);
   ]
 
 (* ---------- Multi-port layouts ---------- *)
@@ -221,4 +424,6 @@ let multiport_tests =
           cuts);
   ]
 
-let tests = io_tests @ compaction_tests @ multiport_tests
+let tests =
+  io_tests @ negative_tests @ roundtrip_tests @ compaction_tests
+  @ multiport_tests

@@ -27,5 +27,6 @@ let () =
       ("robustness", Suite_robustness.tests);
       ("noise", Suite_noise.tests);
       ("parallel", Suite_parallel.tests);
+      ("trace", Suite_trace.tests);
       ("properties", Suite_props.tests);
     ]
