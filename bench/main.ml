@@ -612,6 +612,117 @@ let campaign_bench ~trials () =
   agreement && rows_identical && traced_rows_identical
 
 (* ------------------------------------------------------------------ *)
+(* Persistent service: cold vs warm request latency                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache-hit claim of the serve daemon, measured over the real wire:
+   the first generate request pays parse + validate + simulator warm-up +
+   the full pipeline; repeats of the same (layout, config) must be served
+   from the suite cache and come back measurably faster.  Also times the
+   idempotent byte-replay path, which skips even the cache lookup work. *)
+let serve_bench () =
+  heading "Persistent service (fpva serve): cold vs warm latency";
+  let module Serve = Fpva_serve.Server in
+  let module Client = Fpva_serve.Client in
+  let module Protocol = Fpva_serve.Protocol in
+  let module Json = Fpva_serve.Json in
+  let module Timer = Fpva_util.Timer in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpva-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    { (Serve.default_config (Protocol.Unix_sock path)) with
+      Serve.log = ignore }
+  in
+  let server =
+    match Serve.create cfg with
+    | Ok s -> s
+    | Error msg -> failwith ("serve bench: " ^ msg)
+  in
+  let th = Thread.create Serve.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      try Unix.unlink path with _ -> ())
+    (fun () ->
+      let client = { (Client.default_config (Protocol.Unix_sock path)) with
+                     Client.retries = 0 } in
+      let layout = Render.plain (Layouts.paper_array 8) in
+      let call ?key () =
+        let envelope =
+          { Protocol.id = None;
+            deadline_ms = None;
+            idempotency_key = key;
+            request =
+              Protocol.Generate
+                { layout; gen = Protocol.default_gen_options } }
+        in
+        match Client.call client envelope with
+        | Ok json when Protocol.response_ok json -> json
+        | Ok _ -> failwith "serve bench: request failed"
+        | Error msg -> failwith ("serve bench: " ^ msg)
+      in
+      let json, cold = Timer.time (fun () -> call ()) in
+      let cached_flag j =
+        match Protocol.response_result j with
+        | Some r -> Json.get_bool "cached" r
+        | None -> None
+      in
+      let cold_was_cold = cached_flag json = Some false in
+      let warm_runs = 20 in
+      let warm = Array.make warm_runs 0.0 in
+      let all_warm = ref true in
+      for i = 0 to warm_runs - 1 do
+        let j, s = Timer.time (fun () -> call ()) in
+        warm.(i) <- s;
+        if cached_flag j <> Some true then all_warm := false
+      done;
+      let warm_mean =
+        Array.fold_left ( +. ) 0.0 warm /. float_of_int warm_runs
+      in
+      let warm_min = Array.fold_left Float.min warm.(0) warm in
+      (* Idempotent replay: same key twice, time the replayed call. *)
+      ignore (call ~key:"bench-replay" ());
+      let _, replay = Timer.time (fun () -> call ~key:"bench-replay" ()) in
+      let speedup = cold /. Float.max warm_mean 1e-9 in
+      let warm_faster = warm_mean < cold in
+      Printf.printf
+        "cold: %.1f ms   warm mean: %.2f ms (min %.2f)   replay: %.2f ms   \
+         speedup: %.0fx\n"
+        (1000.0 *. cold) (1000.0 *. warm_mean) (1000.0 *. warm_min)
+        (1000.0 *. replay) speedup;
+      if not cold_was_cold then
+        Printf.printf "ERROR: first request was already cached\n";
+      if not !all_warm then
+        Printf.printf "ERROR: a repeat request missed the suite cache\n";
+      if not warm_faster then
+        Printf.printf
+          "ERROR: warm cache-hit requests are not faster than the cold one\n";
+      let oc = open_out "BENCH_serve.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"layout\": \"paper_array_8x8\",\n\
+        \  \"cold_ms\": %.3f,\n\
+        \  \"warm_mean_ms\": %.3f,\n\
+        \  \"warm_min_ms\": %.3f,\n\
+        \  \"replay_ms\": %.3f,\n\
+        \  \"warm_runs\": %d,\n\
+        \  \"speedup_cold_vs_warm\": %.2f,\n\
+        \  \"cold_was_cold\": %b,\n\
+        \  \"all_repeats_cache_hit\": %b,\n\
+        \  \"warm_faster\": %b\n\
+         }\n"
+        (1000.0 *. cold) (1000.0 *. warm_mean) (1000.0 *. warm_min)
+        (1000.0 *. replay) warm_runs speedup cold_was_cold !all_warm
+        warm_faster;
+      close_out oc;
+      Printf.printf "wrote BENCH_serve.json\n";
+      cold_was_cold && !all_warm && warm_faster)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -739,11 +850,12 @@ let () =
   | _ :: "campaign" :: rest ->
     let trials = match rest with t :: _ -> int_of_string t | [] -> 10_000 in
     if not (campaign_bench ~trials ()) then exit 1
+  | _ :: "serve" :: _ -> if not (serve_bench ()) then exit 1
   | _ :: "micro" :: _ -> micro ()
   | _ :: unknown :: _ ->
     Printf.eprintf
       "unknown experiment %S (try table1 | fig8 | fig9 | faults | ablation | \
-       noise | extensions | campaign | micro)\n"
+       noise | extensions | campaign | serve | micro)\n"
       unknown;
     exit 2
   | [ _ ] | [] ->
@@ -754,4 +866,5 @@ let () =
     ablation ();
     extensions ();
     ignore (campaign_bench ~trials:2_000 ());
+    ignore (serve_bench ());
     micro ()

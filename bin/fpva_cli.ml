@@ -4,11 +4,35 @@
      show      render a layout
      generate  build the full test suite for a layout, optionally rendering
                the flow paths / cut-sets
-     campaign  generate a suite and run a random fault-injection campaign *)
+     campaign  generate a suite and run a random fault-injection campaign
+     diagnose  build a diagnostic dictionary / diagnose an injected fault
+     serve     run the persistent test service daemon
+     client    send one request to a running daemon
+
+   Exit codes (stable; scripts and CI depend on them):
+     0  success
+     1  internal error (unexpected exception — a bug, not bad input)
+     2  invalid input (bad flag value, malformed layout, unknown class)
+     3  degraded result rejected under --strict (budget ran out or the
+        suite failed self-checks)
+   Cmdliner additionally uses 124 (CLI parse error) and 125. *)
 
 open Cmdliner
 open Fpva_grid
 open Fpva_testgen
+
+let exit_internal = 1
+let exit_invalid = 2
+let exit_strict = 3
+
+(* Anything [run] throws past argument validation is a bug in the tool,
+   not a usage error: report it on one line and exit 1, distinguishable
+   from both invalid input (2) and strict degradation (3). *)
+let guard_internal run =
+  try run () with
+  | e ->
+    prerr_endline ("internal error: " ^ Printexc.to_string e);
+    exit exit_internal
 
 (* ---------- layout selection ---------- *)
 
@@ -71,6 +95,7 @@ let resolve_layout ~file name rows cols =
 
 let show_cmd =
   let run name rows cols file =
+    guard_internal @@ fun () ->
     let fpva = resolve_layout ~file name rows cols in
     Printf.printf "%dx%d array, %d valves, %d ports\n\n" (Fpva.rows fpva)
       (Fpva.cols fpva) (Fpva.num_valves fpva)
@@ -138,9 +163,10 @@ let time_limit_t =
     value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS" ~doc)
 
 let strict_t =
-  let doc = "Exit with status 1 when generation degraded (engine fallbacks \
-             or partial stages) or the suite fails self-checks.  Without \
-             this flag a degraded-but-well-formed suite exits 0." in
+  let doc = "Exit with status 3 when the result degraded: generation fell \
+             back or stopped early, the suite fails self-checks, or (for \
+             campaign) budget exhaustion truncated rows.  Without this \
+             flag a degraded-but-well-formed result exits 0." in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
 (* ---------- observability ---------- *)
@@ -183,6 +209,7 @@ let with_observability ~trace ~metrics f =
 let generate_cmd =
   let run name rows cols file direct block no_leak routing render sequence
       output time_limit strict trace metrics =
+    guard_internal @@ fun () ->
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~routing ~direct ~block ~no_leak () in
     let budget =
@@ -233,7 +260,7 @@ let generate_cmd =
           end;
           strict && (Pipeline.degraded result || not ok))
     in
-    if strict_failure then exit 1
+    if strict_failure then exit exit_strict
   in
   let term =
     Term.(
@@ -315,7 +342,8 @@ let resolve_jobs jobs =
 
 let campaign_cmd =
   let run name rows cols direct block no_leak trials seed max_faults classes
-      noise repeats jobs trace metrics =
+      noise repeats jobs time_limit strict trace metrics =
+    guard_internal @@ fun () ->
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     let classes =
@@ -334,39 +362,50 @@ let campaign_cmd =
       exit 2
     end;
     let jobs = resolve_jobs jobs in
-    with_observability ~trace ~metrics (fun () ->
-        let result = Pipeline.run_exn ~config fpva in
-        print_endline (Report.summary result);
-        let campaign_config =
-          { Fpva_sim.Campaign.trials;
-            seed;
-            classes;
-            fault_counts = List.init max_faults (fun i -> i + 1) }
-        in
-        if noise > 0.0 || repeats > 1 then begin
-          let noise_config =
-            { Fpva_sim.Campaign.base = campaign_config;
-              noise_levels = [ noise ];
-              repeats }
+    let budget =
+      match time_limit with
+      | Some s -> Budget.of_seconds s
+      | None -> Budget.unlimited
+    in
+    let truncated =
+      with_observability ~trace ~metrics (fun () ->
+          let result = Pipeline.run_exn ~config fpva in
+          print_endline (Report.summary result);
+          let campaign_config =
+            { Fpva_sim.Campaign.trials;
+              seed;
+              classes;
+              fault_counts = List.init max_faults (fun i -> i + 1) }
           in
-          let r =
-            Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs fpva
-              ~vectors:result.Pipeline.vectors
-          in
-          Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r
-        end
-        else
-          let r =
-            Fpva_sim.Campaign.run ~config:campaign_config ~jobs fpva
-              ~vectors:result.Pipeline.vectors
-          in
-          Format.printf "%a@?" Fpva_sim.Campaign.pp_result r)
+          if noise > 0.0 || repeats > 1 then begin
+            let noise_config =
+              { Fpva_sim.Campaign.base = campaign_config;
+                noise_levels = [ noise ];
+                repeats }
+            in
+            let r =
+              Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs ~budget
+                fpva ~vectors:result.Pipeline.vectors
+            in
+            Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r;
+            r.Fpva_sim.Campaign.n_truncated <> []
+          end
+          else begin
+            let r =
+              Fpva_sim.Campaign.run ~config:campaign_config ~jobs ~budget fpva
+                ~vectors:result.Pipeline.vectors
+            in
+            Format.printf "%a@?" Fpva_sim.Campaign.pp_result r;
+            r.Fpva_sim.Campaign.truncated <> []
+          end)
+    in
+    if strict && truncated then exit exit_strict
   in
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
       $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t
-      $ jobs_t $ trace_t $ metrics_t)
+      $ jobs_t $ time_limit_t $ strict_t $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -411,6 +450,7 @@ let confidence_t =
 let diagnose_cmd =
   let run name rows cols file direct block no_leak inject noise repeats
       confidence seed jobs trace metrics =
+    guard_internal @@ fun () ->
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
     if noise < 0.0 || noise >= 1.0 then begin
@@ -537,6 +577,245 @@ let diagnose_cmd =
           list the consistent or likelihood-ranked candidates.")
     term
 
+(* ---------- serve / client ---------- *)
+
+module Serve = Fpva_serve.Server
+module Serve_client = Fpva_serve.Client
+module Protocol = Fpva_serve.Protocol
+module Json = Fpva_serve.Json
+
+let socket_t =
+  let doc = "Listen on (serve) or dial (client) this unix socket PATH." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_t =
+  let doc =
+    "Listen on (serve) or dial (client) TCP 127.0.0.1:PORT instead of a \
+     unix socket; 0 lets serve pick a free port (printed on startup)."
+  in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let resolve_addr ~socket ~port =
+  match (socket, port) with
+  | Some _, Some _ ->
+    prerr_endline "error: --socket and --port are mutually exclusive";
+    exit exit_invalid
+  | Some path, None -> Protocol.Unix_sock path
+  | None, Some port ->
+    if port < 0 || port > 65535 then begin
+      prerr_endline "error: --port must be in [0, 65535]";
+      exit exit_invalid
+    end;
+    Protocol.Tcp ("127.0.0.1", port)
+  | None, None -> Protocol.Unix_sock "fpva-serve.sock"
+
+let serve_cmd =
+  let workers_t =
+    let doc = "Request-handling threads (max concurrent connections)." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_t =
+    let doc =
+      "Accepted connections allowed to wait for a worker; beyond this the \
+       daemon sheds load with a retryable `overloaded' response."
+    in
+    Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_t =
+    let doc = "Seconds a connection may sit silent before it is closed." in
+    Arg.(value & opt float 30.0 & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_timeout_t =
+    let doc =
+      "Seconds granted to in-flight requests after SIGTERM/SIGINT before \
+       the daemon exits."
+    in
+    Arg.(value & opt float 5.0 & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_deadline_t =
+    let doc =
+      "Clamp per-request deadlines to at most SECONDS (also applied to \
+       requests that ask for no deadline)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let chaos_ops_t =
+    let doc = "Accept the test-only `crash' op (chaos harnesses only)." in
+    Arg.(value & flag & info [ "chaos-ops" ] ~doc)
+  in
+  let run socket port workers max_queue idle_timeout drain_timeout max_deadline
+      chaos_ops trace metrics =
+    let addr = resolve_addr ~socket ~port in
+    if workers < 1 then begin
+      prerr_endline "error: --workers must be >= 1";
+      exit exit_invalid
+    end;
+    if max_queue < 0 then begin
+      prerr_endline "error: --max-queue must be >= 0";
+      exit exit_invalid
+    end;
+    guard_internal @@ fun () ->
+    let config =
+      { (Serve.default_config addr) with
+        Serve.workers;
+        max_queue;
+        idle_timeout;
+        drain_timeout;
+        max_deadline;
+        chaos_ops }
+    in
+    match Serve.create config with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit exit_invalid
+    | Ok server ->
+      Serve.install_signal_handlers server;
+      with_observability ~trace ~metrics (fun () ->
+          (* Print the resolved address on stdout so scripts dialing a
+             --port 0 daemon can learn the port. *)
+          Printf.printf "listening %s\n%!"
+            (Protocol.addr_to_string (Serve.bound_addr server));
+          Serve.run server)
+  in
+  let term =
+    Term.(
+      const run $ socket_t $ port_t $ workers_t $ max_queue_t $ idle_timeout_t
+      $ drain_timeout_t $ max_deadline_t $ chaos_ops_t $ trace_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent test service: line-delimited JSON requests \
+          over a unix or TCP socket, with layout caching, per-request \
+          deadlines, backpressure and graceful drain.")
+    term
+
+let client_cmd =
+  let op_t =
+    let doc = "Operation: ping | stats | generate | campaign | crash." in
+    Arg.(value & pos 0 string "ping" & info [] ~docv:"OP" ~doc)
+  in
+  let deadline_t =
+    let doc =
+      "Per-request deadline in milliseconds (the server degrades the \
+       result rather than exceeding it)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_t =
+    let doc =
+      "Extra attempts after the first on retryable failures (connection \
+       refused/reset, overloaded, shutting down)."
+    in
+    Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let timeout_t =
+    let doc = "Seconds to wait for the complete response." in
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let idempotency_key_t =
+    let doc =
+      "Idempotency key for retried requests (default: a fresh unique key \
+       whenever retries are enabled)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "idempotency-key" ] ~docv:"KEY" ~doc)
+  in
+  let raw_t =
+    let doc = "Print the raw response frame instead of the rendered rows \
+               or suite." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let run op socket port name rows cols file direct block no_leak trials seed
+      max_faults classes jobs deadline_ms retries timeout idempotency_key raw =
+    let addr = resolve_addr ~socket ~port in
+    let gen =
+      { Protocol.direct; block; no_leakage = no_leak }
+    in
+    let request =
+      match op with
+      | "ping" -> Protocol.Ping
+      | "stats" -> Protocol.Stats
+      | "crash" -> Protocol.Crash
+      | "generate" ->
+        let fpva = resolve_layout ~file name rows cols in
+        Protocol.Generate { layout = Render.plain fpva; gen }
+      | "campaign" ->
+        let fpva = resolve_layout ~file name rows cols in
+        let classes =
+          match parse_classes classes with
+          | Ok cs -> cs
+          | Error msg ->
+            prerr_endline ("error: " ^ msg);
+            exit exit_invalid
+        in
+        let jobs = resolve_jobs jobs in
+        Protocol.Campaign
+          { layout = Render.plain fpva;
+            gen;
+            campaign = { Protocol.trials; seed; max_faults; classes; jobs } }
+      | other ->
+        prerr_endline
+          (Printf.sprintf
+             "error: unknown op %S (want ping|stats|generate|campaign|crash)"
+             other);
+        exit exit_invalid
+    in
+    if retries < 0 then begin
+      prerr_endline "error: --retries must be >= 0";
+      exit exit_invalid
+    end;
+    guard_internal @@ fun () ->
+    let cfg =
+      { (Serve_client.default_config addr) with
+        Serve_client.retries;
+        read_timeout = timeout;
+        log = prerr_endline }
+    in
+    let envelope =
+      { Protocol.id = None; deadline_ms; idempotency_key; request }
+    in
+    match Serve_client.call cfg envelope with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit exit_internal
+    | Ok json when raw || not (Protocol.response_ok json) ->
+      print_endline (Json.to_string json);
+      if not (Protocol.response_ok json) then exit exit_invalid
+    | Ok json -> (
+      (* Render the interesting part of the payload the way the direct CLI
+         would, so serve-vs-cold outputs diff cleanly. *)
+      match Protocol.response_result json with
+      | None -> print_endline (Json.to_string json)
+      | Some result -> (
+        match
+          ( Json.get_string "rendered" result,
+            Json.get_string "suite" result )
+        with
+        | Some rendered, _ -> print_string rendered
+        | None, Some suite -> print_string suite
+        | None, None -> print_endline (Json.to_string result)))
+  in
+  let term =
+    Term.(
+      const run $ op_t $ socket_t $ port_t $ layout_t $ rows_t $ cols_t
+      $ file_t $ direct_t $ block_t $ no_leak_t $ trials_t $ seed_t
+      $ max_faults_t $ classes_t $ jobs_t $ deadline_t $ retries_t
+      $ timeout_t $ idempotency_key_t $ raw_t)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running fpva serve daemon, with retry, \
+          backoff and idempotent replay.")
+    term
+
 let () =
   let info =
     Cmd.info "fpva" ~version:"1.0.0"
@@ -544,4 +823,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ show_cmd; generate_cmd; campaign_cmd; diagnose_cmd ]))
+       (Cmd.group info
+          [ show_cmd; generate_cmd; campaign_cmd; diagnose_cmd; serve_cmd;
+            client_cmd ]))

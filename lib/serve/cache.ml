@@ -1,0 +1,147 @@
+module Fpva = Fpva_grid.Fpva
+module Parse = Fpva_grid.Parse
+module Render = Fpva_grid.Render
+module Pipeline = Fpva_testgen.Pipeline
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(* Bounded LRU over string keys.  Capacities here are tens of entries
+   (layouts in active rotation, recent idempotency keys), so recency is a
+   plain tick stamp and eviction is an O(n) minimum scan — no intrusive
+   list to get wrong, and the scan is invisible next to the parse/compile
+   work a miss already paid.  Not thread-safe; callers hold a lock. *)
+module Lru = struct
+  type 'a entry = { value : 'a; mutable stamp : int }
+
+  type 'a t = {
+    table : (string, 'a entry) Hashtbl.t;
+    cap : int;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Cache.Lru.create: capacity must be >= 1";
+    { table = Hashtbl.create (2 * capacity); cap = capacity; tick = 0;
+      hits = 0; misses = 0; evictions = 0 }
+
+  let touch t e =
+    t.tick <- t.tick + 1;
+    e.stamp <- t.tick
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let evict_oldest t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, stamp) when stamp <= e.stamp -> ()
+        | _ -> victim := Some (key, e.stamp))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+
+  let put t key value =
+    (match Hashtbl.find_opt t.table key with
+    | Some _ -> Hashtbl.remove t.table key
+    | None -> if Hashtbl.length t.table >= t.cap then evict_oldest t);
+    let e = { value; stamp = 0 } in
+    touch t e;
+    Hashtbl.add t.table key e
+
+  let stats t =
+    { size = Hashtbl.length t.table; capacity = t.cap; hits = t.hits;
+      misses = t.misses; evictions = t.evictions }
+end
+
+(* ---------- layout cache ---------- *)
+
+type layout_entry = {
+  fpva : Fpva.t;
+  (* Non-degraded generated suites, keyed by pipeline-config key.  Tiny
+     per layout (a handful of configs), so no inner bound. *)
+  suites : (string, Pipeline.t * string) Hashtbl.t;
+}
+
+type t = { mutex : Mutex.t; layouts : layout_entry Lru.t }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?(capacity = 32) () =
+  { mutex = Mutex.create (); layouts = Lru.create ~capacity }
+
+let resolve t text =
+  match Parse.parse text with
+  | Error msg -> Error (Printf.sprintf "invalid layout: %s" msg)
+  | Ok parsed -> (
+    match Fpva.validate parsed with
+    | Error msg -> Error (Printf.sprintf "invalid layout: %s" msg)
+    | Ok () ->
+      let canonical = Render.plain parsed in
+      let hash = Digest.to_hex (Digest.string canonical) in
+      locked t (fun () ->
+          match Lru.find t.layouts hash with
+          | Some entry -> Ok (hash, entry.fpva)
+          | None ->
+            (* Warm the compiled CSR core before publishing: request
+               threads (and their campaign domains) then only ever read
+               the derived-structure cache. *)
+            ignore (Fpva_sim.Simulator.make parsed);
+            Lru.put t.layouts hash
+              { fpva = parsed; suites = Hashtbl.create 4 };
+            Ok (hash, parsed)))
+
+let find_suite t ~hash ~key =
+  locked t (fun () ->
+      match Lru.find t.layouts hash with
+      | Some entry -> Hashtbl.find_opt entry.suites key
+      | None -> None)
+
+let store_suite t ~hash ~key suite =
+  locked t (fun () ->
+      match Lru.find t.layouts hash with
+      | Some entry -> Hashtbl.replace entry.suites key suite
+      | None -> ())
+
+let stats t = locked t (fun () -> Lru.stats t.layouts)
+
+(* ---------- idempotent responses ---------- *)
+
+module Responses = struct
+  type t = { mutex : Mutex.t; lru : string Lru.t }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let create ?(capacity = 256) () =
+    { mutex = Mutex.create (); lru = Lru.create ~capacity }
+
+  let find t key = locked t (fun () -> Lru.find t.lru key)
+
+  let put t key value = locked t (fun () -> Lru.put t.lru key value)
+
+  let stats t = locked t (fun () -> Lru.stats t.lru)
+end

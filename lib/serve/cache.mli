@@ -1,0 +1,71 @@
+(** Server-side caches: compiled layouts and idempotent responses.
+
+    The daemon's reason to exist is warmth: a cold CLI run pays layout
+    parsing, CSR compilation ({!Fpva_grid.Compiled}) and suite generation
+    on every invocation, while the daemon pays them once per layout and
+    serves every later request from the cache.  Two caches, both
+    bounded-LRU and thread-safe:
+
+    - the {e layout cache} maps a canonical layout hash to its parsed
+      {!Fpva_grid.Fpva.t} (compiled form forced at insertion, so every
+      later {!Fpva_sim.Simulator.make} is a cache read) plus the
+      non-degraded generated suites per pipeline-config key;
+    - the {e response cache} maps idempotency keys to complete response
+      frames, replayed byte-for-byte so a client retry after a lost
+      response never recomputes (and never observes a different answer).
+
+    Cached [Fpva.t] values are shared across request threads and must be
+    treated as read-only — nothing in the generation/simulation stack
+    mutates a layout, and the derived-structure hook is warmed before the
+    entry is published. *)
+
+type stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(** {1 Layout cache} *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 32 layouts. *)
+
+val resolve : t -> string -> (string * Fpva_grid.Fpva.t, string) result
+(** [resolve t text] parses and validates a layout in the
+    {!Fpva_grid.Parse} ASCII format, returning [(canonical_hash, fpva)].
+    The hash is over the {e canonical} rendering, so two texts of the
+    same architecture (comment/whitespace differences aside) share one
+    entry.  On a hit the cached (compiled-form-warm) value is returned
+    without re-deriving anything.  [Error] messages are client-safe. *)
+
+val find_suite :
+  t -> hash:string -> key:string -> (Fpva_testgen.Pipeline.t * string) option
+(** A previously generated suite for layout [hash] under pipeline-config
+    [key], with its serialised {!Fpva_testgen.Suite_io} text. *)
+
+val store_suite :
+  t -> hash:string -> key:string -> Fpva_testgen.Pipeline.t * string -> unit
+(** No-op when the layout is no longer cached.  Callers must only store
+    non-degraded suites: a budget-truncated suite must never be replayed
+    to a request that granted a full budget. *)
+
+val stats : t -> stats
+
+(** {1 Idempotent-response cache} *)
+
+module Responses : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 256 responses. *)
+
+  val find : t -> string -> string option
+
+  val put : t -> string -> string -> unit
+
+  val stats : t -> stats
+end

@@ -1,0 +1,192 @@
+module Timer = Fpva_util.Timer
+module Rng = Fpva_util.Rng
+
+type config = {
+  addr : Protocol.addr;
+  retries : int;
+  connect_timeout : float;
+  read_timeout : float;
+  base_backoff : float;
+  max_backoff : float;
+  jitter_seed : int;
+  log : string -> unit;
+}
+
+let default_config addr =
+  { addr;
+    retries = 4;
+    connect_timeout = 5.0;
+    read_timeout = 120.0;
+    base_backoff = 0.05;
+    max_backoff = 2.0;
+    jitter_seed = 0;
+    log = (fun _ -> ()) }
+
+let key_counter = Atomic.make 0
+
+let fresh_key () =
+  Printf.sprintf "fpva-%d-%d-%.6f" (Unix.getpid ())
+    (Atomic.fetch_and_add key_counter 1)
+    (Unix.gettimeofday ())
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Connect with a deadline: non-blocking connect, then wait for
+   writability and check SO_ERROR — a refused or unreachable server must
+   become a retryable [Error], never a hang. *)
+let connect_with_timeout addr timeout =
+  let domain, sockaddr =
+    match addr with
+    | Protocol.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) ->
+      let inet =
+        if host = "" || host = "*" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | h -> h.Unix.h_addr_list.(0))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match
+    Unix.set_nonblock fd;
+    (try
+       Unix.connect fd sockaddr;
+       Ok ()
+     with
+    | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+      -> (
+      match Unix.select [] [ fd ] [] timeout with
+      | _, [ _ ], _ -> (
+        match Unix.getsockopt_error fd with
+        | None -> Ok ()
+        | Some err -> Error (Unix.error_message err))
+      | _ -> Error "connect timed out")
+    | Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+  with
+  | Ok () ->
+    Unix.clear_nonblock fd;
+    Ok fd
+  | Error msg ->
+    close_quietly fd;
+    Error
+      (Printf.sprintf "connect to %s failed: %s"
+         (Protocol.addr_to_string addr) msg)
+  | exception e ->
+    close_quietly fd;
+    Error
+      (Printf.sprintf "connect to %s failed: %s"
+         (Protocol.addr_to_string addr) (Printexc.to_string e))
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Read one newline-terminated frame under an absolute deadline. *)
+let read_line_with_timeout fd timeout =
+  let deadline = Timer.now () +. timeout in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i -> Ok (String.sub s 0 i)
+    | None ->
+      let left = deadline -. Timer.now () in
+      if left <= 0.0 then Error "read timed out waiting for response"
+      else (
+        match Unix.select [ fd ] [] [] (Float.min left 0.5) with
+        | [], _, _ -> go ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            if Buffer.length buf = 0 then
+              Error "connection closed before any response"
+            else Error "connection closed mid-response (truncated frame)"
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (err, _, _) ->
+            Error ("read failed: " ^ Unix.error_message err))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let call_once cfg line =
+  Server.ignore_sigpipe ();
+  match connect_with_timeout cfg.addr cfg.connect_timeout with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        match write_all fd (line ^ "\n") with
+        | () -> read_line_with_timeout fd cfg.read_timeout
+        | exception Unix.Unix_error (err, _, _) ->
+          Error ("write failed: " ^ Unix.error_message err))
+
+type verdict = Definitive of Json.t | Retry of string
+
+let classify raw =
+  match Json.parse raw with
+  | Error msg -> Retry ("unparseable response frame: " ^ msg)
+  | Ok json -> (
+    if Protocol.response_ok json then Definitive json
+    else
+      match Protocol.response_error json with
+      | Some (code, message) when Protocol.retryable code ->
+        Retry (Printf.sprintf "%s: %s" (Protocol.code_name code) message)
+      | _ -> Definitive json)
+
+let call cfg envelope =
+  (* Retrying a request that may already have executed is only safe when
+     the server can recognise the repeat — stamp a key if the caller
+     supplied none and retries are possible. *)
+  let envelope =
+    if cfg.retries > 0 && envelope.Protocol.idempotency_key = None then
+      { envelope with Protocol.idempotency_key = Some (fresh_key ()) }
+    else envelope
+  in
+  let line = Json.to_string (Protocol.request_to_json envelope) in
+  let rng = Rng.derive cfg.jitter_seed (Hashtbl.hash line) in
+  let rec attempt n =
+    let outcome =
+      match call_once cfg line with
+      | Error msg -> Retry msg
+      | Ok raw -> classify raw
+    in
+    match outcome with
+    | Definitive json -> Ok json
+    | Retry why ->
+      if n >= cfg.retries then
+        Error
+          (Printf.sprintf "giving up after %d attempt%s: %s" (n + 1)
+             (if n = 0 then "" else "s")
+             why)
+      else begin
+        (* Exponential backoff, full jitter: delay in (0, cap] spreads a
+           retry herd instead of re-synchronising it. *)
+        let cap =
+          Float.min cfg.max_backoff
+            (cfg.base_backoff *. Float.pow 2.0 (float_of_int n))
+        in
+        let delay = Rng.float rng cap in
+        cfg.log
+          (Printf.sprintf "attempt %d failed (%s); retrying in %.0f ms"
+             (n + 1) why (1000.0 *. delay));
+        (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+        attempt (n + 1)
+      end
+  in
+  attempt 0

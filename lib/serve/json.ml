@@ -1,0 +1,315 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else if Float.is_nan f || Float.abs f = infinity then
+      (* JSON has no nan/inf; null is the conventional degradation. *)
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> add_escaped buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        add buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Bad of int * string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect ch =
+    match peek () with
+    | Some c when c = ch -> advance ()
+    | Some c -> fail (Printf.sprintf "expected %C, found %C" ch c)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" ch)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | c -> fail (Printf.sprintf "invalid hex digit %C" c)
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf code =
+    (* Encode a code point; surrogate pairs were already combined. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        advance ();
+        Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "truncated escape";
+         (match s.[!pos] with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'f' -> Buffer.add_char buf '\012'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'u' ->
+           advance ();
+           let code = parse_hex4 () in
+           let code =
+             if code >= 0xD800 && code <= 0xDBFF
+                && !pos + 2 <= n
+                && s.[!pos] = '\\'
+                && !pos + 1 < n
+                && s.[!pos + 1] = 'u'
+             then begin
+               pos := !pos + 2;
+               let low = parse_hex4 () in
+               if low >= 0xDC00 && low <= 0xDFFF then
+                 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+               else fail "invalid low surrogate"
+             end
+             else code
+           in
+           add_utf8 buf code
+         | c -> fail (Printf.sprintf "invalid escape \\%C" c)));
+        loop ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "invalid number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        (* Integer literal overflowing native int: keep the magnitude. *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "invalid number %S" text))
+  in
+  let rec parse_value depth =
+    if depth > 256 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value (depth + 1) in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "invalid JSON at byte %d: %s" at msg)
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let get_string key v =
+  match member key v with Some (String s) -> Some s | _ -> None
+
+let get_int key v =
+  match member key v with
+  | Some (Int n) -> Some n
+  | Some (Float f) when Float.is_integer f && Float.abs f <= 1e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let get_float key v =
+  match member key v with
+  | Some (Float f) -> Some f
+  | Some (Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let get_bool key v =
+  match member key v with Some (Bool b) -> Some b | _ -> None
+
+let get_list key v =
+  match member key v with Some (List xs) -> Some xs | _ -> None

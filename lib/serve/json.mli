@@ -1,0 +1,52 @@
+(** Minimal JSON values for the wire protocol — zero dependencies.
+
+    The container this library ships in has no JSON package, and the
+    protocol needs only line-delimited objects, so this is a small,
+    strict, self-contained implementation: a recursive-descent parser
+    that {e never raises} on malformed input (the chaos suite feeds it
+    truncated frames and garbage bytes) and a printer whose output is a
+    single line (no raw newlines — strings are escaped), so one frame is
+    always exactly one line on the socket.
+
+    Numbers are split into [Int] and [Float] on parse ([42] stays an
+    [int]; [42.5] and exponent forms become [float]) so protocol fields
+    like trial counts survive a round trip without float precision
+    questions. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace (or a
+    truncated value) is an error.  Error strings carry a byte offset. *)
+
+val to_string : t -> string
+(** Compact single-line rendering; strings are JSON-escaped (including
+    control characters, so embedded layout/suite text stays on one
+    line). *)
+
+(** {2 Object accessors}
+
+    All return [None] when the value is not an object, the member is
+    absent, or it has the wrong type — request validation folds these
+    into one [bad_request] path. *)
+
+val member : string -> t -> t option
+
+val get_string : string -> t -> string option
+
+val get_int : string -> t -> int option
+(** Accepts [Int n], and [Float f] when [f] is integral. *)
+
+val get_float : string -> t -> float option
+(** Accepts [Float] and [Int]. *)
+
+val get_bool : string -> t -> bool option
+
+val get_list : string -> t -> t list option

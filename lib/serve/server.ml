@@ -1,0 +1,569 @@
+module Timer = Fpva_util.Timer
+module Trace = Fpva_util.Trace
+module Budget = Fpva_testgen.Budget
+module Pipeline = Fpva_testgen.Pipeline
+module Suite_io = Fpva_testgen.Suite_io
+module Campaign = Fpva_sim.Campaign
+
+let requests_c = Trace.counter "serve.requests"
+let errors_c = Trace.counter "serve.errors"
+let overloads_c = Trace.counter "serve.overloads"
+let idem_hits_c = Trace.counter "serve.idem_hits"
+let connections_c = Trace.counter "serve.connections"
+
+type config = {
+  addr : Protocol.addr;
+  workers : int;
+  max_queue : int;
+  layout_capacity : int;
+  response_capacity : int;
+  idle_timeout : float;
+  drain_timeout : float;
+  max_frame : int;
+  max_deadline : float option;
+  chaos_ops : bool;
+  log : string -> unit;
+}
+
+let default_config addr =
+  { addr;
+    workers = 4;
+    max_queue = 16;
+    layout_capacity = 32;
+    response_capacity = 256;
+    idle_timeout = 30.0;
+    drain_timeout = 5.0;
+    max_frame = 8 * 1024 * 1024;
+    max_deadline = None;
+    chaos_ops = false;
+    log = (fun line -> Printf.eprintf "fpva-serve: %s\n%!" line) }
+
+type counters = {
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  overloads : int Atomic.t;
+  idem_hits : int Atomic.t;
+  connections : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Protocol.addr;
+  stopping : bool Atomic.t;
+  (* +infinity until the drain starts; then an absolute Timer.now
+     deadline every connection loop respects. *)
+  drain_deadline : float Atomic.t;
+  queue : Unix.file_descr Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  inflight : int Atomic.t;
+  active_conns : int Atomic.t;
+  layouts : Cache.t;
+  responses : Cache.Responses.t;
+  started : float;
+  c : counters;
+}
+
+(* Dead peers must surface as EPIPE from write, never as a fatal signal;
+   idempotent, so both server and client call it freely. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ()
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------- lifecycle ---------- *)
+
+let create cfg =
+  ignore_sigpipe ();
+  let make_socket () =
+    match cfg.addr with
+    | Protocol.Unix_sock path ->
+      (* A predecessor killed with -9 leaves its socket file behind; a
+         fresh daemon must be able to take over the address. *)
+      (match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      (fd, cfg.addr)
+    | Protocol.Tcp (host, port) ->
+      let inet =
+        if host = "" || host = "*" then Unix.inet_addr_any
+        else
+          try Unix.inet_addr_of_string host
+          with _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | h -> h.Unix.h_addr_list.(0))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> Protocol.Tcp (host, p)
+        | _ -> cfg.addr
+      in
+      (fd, bound)
+  in
+  match make_socket () with
+  | exception Unix.Unix_error (err, fn, arg) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s (%s %s)"
+         (Protocol.addr_to_string cfg.addr)
+         (Unix.error_message err) fn arg)
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "cannot resolve %s" (Protocol.addr_to_string cfg.addr))
+  | fd, bound ->
+    Unix.listen fd 64;
+    Ok
+      { cfg;
+        listen_fd = fd;
+        bound;
+        stopping = Atomic.make false;
+        drain_deadline = Atomic.make infinity;
+        queue = Queue.create ();
+        qmutex = Mutex.create ();
+        qcond = Condition.create ();
+        inflight = Atomic.make 0;
+        active_conns = Atomic.make 0;
+        layouts = Cache.create ~capacity:cfg.layout_capacity ();
+        responses = Cache.Responses.create ~capacity:cfg.response_capacity ();
+        started = Timer.now ();
+        c =
+          { requests = Atomic.make 0;
+            errors = Atomic.make 0;
+            overloads = Atomic.make 0;
+            idem_hits = Atomic.make 0;
+            connections = Atomic.make 0 } }
+
+let bound_addr t = t.bound
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  ignore_sigpipe ();
+  let handle = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle
+
+(* ---------- stats ---------- *)
+
+let cache_stats_json (s : Cache.stats) =
+  Json.Obj
+    [ ("size", Json.Int s.Cache.size);
+      ("capacity", Json.Int s.Cache.capacity);
+      ("hits", Json.Int s.Cache.hits);
+      ("misses", Json.Int s.Cache.misses);
+      ("evictions", Json.Int s.Cache.evictions) ]
+
+let stats_json t =
+  let queue_depth =
+    Mutex.lock t.qmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.qmutex)
+      (fun () -> Queue.length t.queue)
+  in
+  Json.Obj
+    [ ("uptime_s", Json.Float (Timer.elapsed t.started));
+      ("requests", Json.Int (Atomic.get t.c.requests));
+      ("errors", Json.Int (Atomic.get t.c.errors));
+      ("overloads", Json.Int (Atomic.get t.c.overloads));
+      ("idem_hits", Json.Int (Atomic.get t.c.idem_hits));
+      ("connections", Json.Int (Atomic.get t.c.connections));
+      ("inflight", Json.Int (Atomic.get t.inflight));
+      ("active_connections", Json.Int (Atomic.get t.active_conns));
+      ("queue_depth", Json.Int queue_depth);
+      ("workers", Json.Int t.cfg.workers);
+      ("stopping", Json.Bool (Atomic.get t.stopping));
+      ("layout_cache", cache_stats_json (Cache.stats t.layouts));
+      ("response_cache",
+       cache_stats_json (Cache.Responses.stats t.responses)) ]
+
+(* ---------- request handling ---------- *)
+
+let budget_of t deadline_ms =
+  let requested =
+    match deadline_ms with
+    | Some ms -> Some (float_of_int ms /. 1000.0)
+    | None -> None
+  in
+  let clamped =
+    match (requested, t.cfg.max_deadline) with
+    | Some r, Some m -> Some (Float.min r m)
+    | Some r, None -> Some r
+    | None, Some m -> Some m
+    | None, None -> None
+  in
+  match clamped with
+  | Some seconds -> Budget.of_seconds seconds
+  | None -> Budget.unlimited
+
+let pipeline_config (gen : Protocol.gen_options) =
+  { Pipeline.default_config with
+    Pipeline.hierarchical = not gen.Protocol.direct;
+    block_rows = gen.Protocol.block;
+    block_cols = gen.Protocol.block;
+    include_leakage = not gen.Protocol.no_leakage }
+
+let gen_key (gen : Protocol.gen_options) =
+  Printf.sprintf "direct=%b;block=%d;leak=%b" gen.Protocol.direct
+    gen.Protocol.block (not gen.Protocol.no_leakage)
+
+exception Reject of Protocol.error_code * string
+
+(* The suite for (layout, gen config): cached when a previous request
+   already generated it cleanly, else generated under [budget].  Only
+   non-degraded, self-check-passing suites are cached — a truncated suite
+   must never be replayed to a request that granted a full budget. *)
+let obtain_suite t ~hash ~fpva ~gen ~budget =
+  let key = gen_key gen in
+  match Cache.find_suite t.layouts ~hash ~key with
+  | Some (result, suite_text) -> (result, suite_text, true)
+  | None ->
+    let config = pipeline_config gen in
+    (match Pipeline.run ~config ~budget fpva with
+    | Error msg -> raise (Reject (Protocol.Bad_request, "invalid layout: " ^ msg))
+    | Ok result ->
+      let suite_text = Suite_io.to_string fpva result.Pipeline.vectors in
+      if (not (Pipeline.degraded result)) && Pipeline.suite_ok result then
+        Cache.store_suite t.layouts ~hash ~key (result, suite_text);
+      (result, suite_text, false))
+
+let with_cached_flag cached = function
+  | Json.Obj kvs -> Json.Obj (("cached", Json.Bool cached) :: kvs)
+  | other -> other
+
+let resolve_layout t layout =
+  match Cache.resolve t.layouts layout with
+  | Ok (hash, fpva) -> (hash, fpva)
+  | Error msg -> raise (Reject (Protocol.Bad_request, msg))
+
+let execute t (env : Protocol.envelope) : Json.t =
+  let budget = budget_of t env.Protocol.deadline_ms in
+  match env.Protocol.request with
+  | Protocol.Ping ->
+    Json.Obj
+      [ ("pong", Json.Bool true);
+        ("uptime_s", Json.Float (Timer.elapsed t.started)) ]
+  | Protocol.Stats -> stats_json t
+  | Protocol.Crash ->
+    if t.cfg.chaos_ops then failwith "injected crash (chaos op)"
+    else
+      raise
+        (Reject
+           ( Protocol.Bad_request,
+             "crash op requires the server to run with chaos ops enabled" ))
+  | Protocol.Generate { layout; gen } ->
+    let hash, fpva = resolve_layout t layout in
+    let result, suite_text, cached = obtain_suite t ~hash ~fpva ~gen ~budget in
+    with_cached_flag cached
+      (Protocol.generate_result_json ~layout_hash:hash ~suite_text result)
+  | Protocol.Campaign { layout; gen; campaign } ->
+    let hash, fpva = resolve_layout t layout in
+    let result, _, cached = obtain_suite t ~hash ~fpva ~gen ~budget in
+    let campaign_config =
+      { Campaign.trials = campaign.Protocol.trials;
+        seed = campaign.Protocol.seed;
+        classes = campaign.Protocol.classes;
+        fault_counts =
+          List.init campaign.Protocol.max_faults (fun i -> i + 1) }
+    in
+    (* The same budget object keeps ticking: suite generation consumed
+       its share, the campaign gets whatever wall clock is left. *)
+    let r =
+      Campaign.run ~config:campaign_config ~jobs:campaign.Protocol.jobs
+        ~budget fpva ~vectors:result.Pipeline.vectors
+    in
+    with_cached_flag cached (Protocol.campaign_result_json ~layout_hash:hash r)
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Crash -> "crash"
+  | Protocol.Generate _ -> "generate"
+  | Protocol.Campaign _ -> "campaign"
+
+(* One request line -> one response frame (no trailing newline).  Every
+   failure mode of the handler is contained here: the connection — and a
+   fortiori the daemon — only ever sees a well-formed frame. *)
+let respond t line =
+  Atomic.incr t.c.requests;
+  Trace.incr requests_c;
+  match Json.parse line with
+  | Error msg ->
+    Atomic.incr t.c.errors;
+    Trace.incr errors_c;
+    Protocol.error_frame ~id:None Protocol.Bad_request msg
+  | Ok json -> (
+    let id = Json.get_string "id" json in
+    match Protocol.request_of_json json with
+    | Error msg ->
+      Atomic.incr t.c.errors;
+      Trace.incr errors_c;
+      Protocol.error_frame ~id Protocol.Bad_request msg
+    | Ok env -> (
+      (* Idempotent replay: a retried request whose original response was
+         computed (but possibly lost in transit) gets the stored bytes
+         back verbatim — no recompute, no chance of divergence. *)
+      match
+        match env.Protocol.idempotency_key with
+        | Some key -> Cache.Responses.find t.responses key
+        | None -> None
+      with
+      | Some stored ->
+        Atomic.incr t.c.idem_hits;
+        Trace.incr idem_hits_c;
+        stored
+      | None -> (
+        let t0 = Timer.now () in
+        let finish status frame =
+          if Trace.is_enabled () then
+            Trace.emit_span "serve.request" ~dur:(Timer.elapsed t0)
+              ~tags:[ ("op", op_name env.Protocol.request); ("status", status) ];
+          frame
+        in
+        match execute t env with
+        | result ->
+          let frame = Protocol.ok_frame ~id result in
+          (match env.Protocol.idempotency_key with
+          | Some key -> Cache.Responses.put t.responses key frame
+          | None -> ());
+          finish "ok" frame
+        | exception Reject (code, msg) ->
+          Atomic.incr t.c.errors;
+          Trace.incr errors_c;
+          finish (Protocol.code_name code) (Protocol.error_frame ~id code msg)
+        | exception e ->
+          (* Request isolation: the handler blew up; log it, error-frame
+             it, keep the daemon alive. *)
+          Atomic.incr t.c.errors;
+          Trace.incr errors_c;
+          t.cfg.log
+            (Printf.sprintf "request error (op %s): %s"
+               (op_name env.Protocol.request)
+               (Printexc.to_string e));
+          finish "internal"
+            (Protocol.error_frame ~id Protocol.Internal (Printexc.to_string e)))))
+
+(* ---------- connection I/O ---------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let send_frame fd frame = write_all fd (frame ^ "\n")
+
+(* Best-effort frame to a connection we are about to drop (load shed,
+   drain): the peer may already be gone, which is its problem. *)
+let send_frame_quietly fd frame =
+  try send_frame fd frame with Unix.Unix_error _ | Sys_error _ -> ()
+
+let extract_line pending =
+  let s = Buffer.contents pending in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub s 0 i in
+    Buffer.clear pending;
+    Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+    (* Tolerate CRLF peers. *)
+    if String.length line > 0 && line.[String.length line - 1] = '\r' then
+      Some (String.sub line 0 (String.length line - 1))
+    else Some line
+
+(* Serve one connection until EOF, idle timeout, drain deadline, a
+   too-large frame, or a dead peer.  Never raises. *)
+let handle_connection t fd =
+  Atomic.incr t.c.connections;
+  Trace.incr connections_c;
+  Atomic.incr t.active_conns;
+  let pending = Buffer.create 1024 in
+  let chunk = Bytes.create 65536 in
+  let last_activity = ref (Timer.now ()) in
+  (* Writes must not hang forever on a peer that stopped reading. *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.idle_timeout
+   with Unix.Unix_error _ -> ());
+  let process_ready_lines () =
+    (* Returns false when the connection should close (peer vanished). *)
+    let rec go () =
+      match extract_line pending with
+      | None -> true
+      | Some "" -> go ()  (* keep-alive blank lines *)
+      | Some line -> (
+        Atomic.incr t.inflight;
+        let frame =
+          Fun.protect
+            ~finally:(fun () -> Atomic.decr t.inflight)
+            (fun () -> respond t line)
+        in
+        match send_frame fd frame with
+        | () -> go ()
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          (* Mid-request disconnect: the peer is gone; only this
+             connection dies. *)
+          t.cfg.log "peer closed connection before response";
+          false)
+    in
+    go ()
+  in
+  let rec serve () =
+    if not (process_ready_lines ()) then ()
+    else if Buffer.length pending > t.cfg.max_frame then begin
+      Atomic.incr t.c.errors;
+      Trace.incr errors_c;
+      send_frame_quietly fd
+        (Protocol.error_frame ~id:None Protocol.Frame_too_large
+           (Printf.sprintf "request frame exceeds %d bytes" t.cfg.max_frame))
+    end
+    else begin
+      let now = Timer.now () in
+      if now > Atomic.get t.drain_deadline then ()
+      else if Atomic.get t.stopping && Buffer.length pending = 0 then
+        (* Between requests during a drain: close politely. *)
+        ()
+      else if now -. !last_activity > t.cfg.idle_timeout then
+        (* Stalled read: either an idle keep-alive or a peer that sent
+           half a frame and went away. *)
+        ()
+      else begin
+        match Unix.select [ fd ] [] [] 0.25 with
+        | [], _, _ -> serve ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            (* EOF.  Any bytes left in [pending] are a truncated frame —
+               there is no complete request to answer, so drop them. *)
+            ()
+          | n ->
+            Buffer.add_subbytes pending chunk 0 n;
+            last_activity := Timer.now ();
+            serve ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ()
+      end
+    end
+  in
+  (try serve ()
+   with e ->
+     (* Belt and braces: nothing above should raise, but a connection
+        must never take its worker thread down. *)
+     t.cfg.log (Printf.sprintf "connection error: %s" (Printexc.to_string e)));
+  close_quietly fd;
+  Atomic.decr t.active_conns
+
+(* ---------- worker threads and accept loop ---------- *)
+
+let pop_connection t =
+  Mutex.lock t.qmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.qmutex)
+    (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if Atomic.get t.stopping then None
+        else begin
+          Condition.wait t.qcond t.qmutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let worker_loop t =
+  let rec loop () =
+    match pop_connection t with
+    | None -> ()
+    | Some fd ->
+      handle_connection t fd;
+      loop ()
+  in
+  loop ()
+
+let enqueue_or_shed t fd =
+  let shed =
+    Mutex.lock t.qmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.qmutex)
+      (fun () ->
+        if Queue.length t.queue >= t.cfg.max_queue then true
+        else begin
+          Queue.push fd t.queue;
+          Condition.signal t.qcond;
+          false
+        end)
+  in
+  if shed then begin
+    (* Explicit backpressure: answer, then drop — the client's retry
+       machinery (backoff + jitter) spreads the herd out. *)
+    Atomic.incr t.c.overloads;
+    Trace.incr overloads_c;
+    send_frame_quietly fd
+      (Protocol.error_frame ~id:None Protocol.Overloaded
+         "request queue full; retry with backoff");
+    close_quietly fd
+  end
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ -> enqueue_or_shed t fd
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+        -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run t =
+  t.cfg.log
+    (Printf.sprintf "listening on %s (%d workers, queue %d)"
+       (Protocol.addr_to_string t.bound)
+       t.cfg.workers t.cfg.max_queue);
+  let workers = List.init t.cfg.workers (fun _ -> Thread.create worker_loop t) in
+  accept_loop t;
+  (* Drain: no new connections; in-flight work gets [drain_timeout]
+     seconds, queued-but-unserved connections get a retryable frame. *)
+  Atomic.set t.drain_deadline (Timer.now () +. t.cfg.drain_timeout);
+  t.cfg.log
+    (Printf.sprintf "draining (%d in flight, %.1fs deadline)"
+       (Atomic.get t.inflight) t.cfg.drain_timeout);
+  close_quietly t.listen_fd;
+  let queued =
+    Mutex.lock t.qmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.qmutex)
+      (fun () ->
+        let fds = Queue.fold (fun acc fd -> fd :: acc) [] t.queue in
+        Queue.clear t.queue;
+        Condition.broadcast t.qcond;
+        List.rev fds)
+  in
+  List.iter
+    (fun fd ->
+      send_frame_quietly fd
+        (Protocol.error_frame ~id:None Protocol.Shutting_down
+           "server is draining; retry against the restarted instance");
+      close_quietly fd)
+    queued;
+  List.iter Thread.join workers;
+  (match t.bound with
+  | Protocol.Unix_sock path -> (try Unix.unlink path with _ -> ())
+  | Protocol.Tcp _ -> ());
+  (* The satellite contract: trace files are complete even when the
+     process is about to exit on a signal. *)
+  Trace.flush ();
+  t.cfg.log "drained; bye"

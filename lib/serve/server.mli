@@ -1,0 +1,83 @@
+(** The [fpva serve] daemon — a persistent, fault-tolerant test service.
+
+    One warm process serves many chips/fabs: line-delimited JSON requests
+    ({!Protocol}) arrive over a unix or TCP socket, layouts and generated
+    suites are served from the LRU {!Cache}, and the robustness machinery
+    is first-class rather than best-effort:
+
+    - {b deadlines}: a request's [deadline_ms] becomes a
+      {!Fpva_testgen.Budget} threaded through {!Fpva_testgen.Pipeline.run}
+      and {!Fpva_sim.Campaign.run}, so an over-budget request returns a
+      degradation report ([Partial]/[Fell_back_to_search] stages,
+      truncated campaign rows) instead of hanging;
+    - {b backpressure}: accepted connections wait in a bounded queue for
+      one of [workers] threads; when the queue is full the daemon
+      {e sheds load} — the new connection gets an [overloaded] error
+      frame (retryable) and is closed immediately;
+    - {b isolation}: a request that raises poisons only its own
+      connection — the client gets an [internal] error frame, the
+      exception is logged, and the daemon keeps serving;
+    - {b drain}: {!stop} (installed on SIGTERM/SIGINT by
+      {!install_signal_handlers}) stops accepting, lets in-flight
+      requests finish under [drain_timeout], answers queued-but-unserved
+      connections with [shutting_down], flushes trace sinks
+      ({!Fpva_util.Trace.flush}), and returns from {!run}.
+
+    Per-request [serve.request] trace spans and [serve.*] counters flow
+    through the process {!Fpva_util.Trace} sinks. *)
+
+type config = {
+  addr : Protocol.addr;
+  workers : int;  (** request-handling threads (= max concurrent
+                      connections); default 4 *)
+  max_queue : int;  (** accepted connections allowed to wait for a
+                        worker before load is shed; default 16 *)
+  layout_capacity : int;  (** LRU slots for compiled layouts *)
+  response_capacity : int;  (** LRU slots for idempotent responses *)
+  idle_timeout : float;  (** seconds a connection may sit silent (or a
+                             frame may stay incomplete) before it is
+                             closed — bounds stalled-read damage *)
+  drain_timeout : float;  (** seconds granted to in-flight work on stop *)
+  max_frame : int;  (** request-line byte cap; larger frames are answered
+                        with [frame_too_large] and the connection closed *)
+  max_deadline : float option;
+      (** upper clamp (seconds) on per-request deadlines; [None] lets a
+          request run unbounded when it asks no deadline *)
+  chaos_ops : bool;  (** accept the test-only [crash] op *)
+  log : string -> unit;  (** structured one-line log sink *)
+}
+
+val default_config : Protocol.addr -> config
+(** Stderr logging, 4 workers, queue 16, caches 32/256, idle 30 s, drain
+    5 s, 8 MiB frames, no deadline clamp, chaos ops off. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind and listen (unix sockets: a stale socket file left by a killed
+    predecessor is unlinked first; TCP: [SO_REUSEADDR], port 0 picks a
+    free port).  No thread is started yet. *)
+
+val bound_addr : t -> Protocol.addr
+(** The actual address (TCP port resolved) — what clients should dial. *)
+
+val run : t -> unit
+(** Serve until {!stop}: spawns the worker threads and runs the accept
+    loop in the calling thread.  Returns only after the drain completes;
+    the listening socket is closed and (for unix sockets) the socket file
+    removed. *)
+
+val stop : t -> unit
+(** Request shutdown.  Async-signal-safe (one atomic store), so it is
+    callable straight from a signal handler or any thread; {!run} notices
+    within its accept tick and starts the drain. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT invoke {!stop}; SIGPIPE is ignored process-wide
+    (dead peers must surface as [EPIPE] on write, not kill the daemon). *)
+
+val ignore_sigpipe : unit -> unit
+(** Just the SIGPIPE part — the {!Client} needs the same protection. *)
+
+val stats_json : t -> Json.t
+(** The [stats] op's payload — also handy for tests. *)

@@ -2,6 +2,7 @@ module Rng = Fpva_util.Rng
 module Pool = Fpva_util.Pool
 module Timer = Fpva_util.Timer
 module Trace = Fpva_util.Trace
+module Budget = Fpva_testgen.Budget
 
 let trials_c = Trace.counter "campaign.trials"
 let noisy_trials_c = Trace.counter "campaign.noisy_trials"
@@ -31,7 +32,7 @@ type row = {
   mean_latency : float;
 }
 
-type result = { rows : row list; wall_seconds : float }
+type result = { rows : row list; truncated : int list; wall_seconds : float }
 
 (* Distinct faults for one trial.  Stuck-at-only campaigns reuse the paper's
    distinct-valve draw; mixed campaigns draw class-first and reject
@@ -128,8 +129,25 @@ let row_of_outcomes ~fault_count ~trials outcome_at =
     escapes = List.rev !escapes; short_draws = !short_draws;
     void_draws = !void_draws; mean_latency }
 
-let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
-    ~vectors =
+(* Split the per-fault-count rows into the completed prefix and the
+   truncated tail: a row is dropped as soon as any of its trials was
+   skipped for budget exhaustion (a partially-scored row would not be
+   bit-identical to the same row of an unbudgeted run), and every later
+   row is dropped with it so the surviving rows are always a prefix of
+   the full run's rows. *)
+let rows_and_truncated counts ~row_complete ~row_of =
+  let rec build idx =
+    if idx >= List.length counts then ([], [])
+    else if not (row_complete idx) then
+      ([], List.filteri (fun i _ -> i >= idx) counts)
+    else
+      let rows, truncated = build (idx + 1) in
+      (row_of idx :: rows, truncated)
+  in
+  build 0
+
+let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
+    ?(budget = Budget.unlimited) fpva ~vectors =
   check_jobs "run" jobs stream;
   let t0 = Timer.now () in
   (* Force the layout's compiled form (and valve tables) before any domain
@@ -138,22 +156,37 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
      application was the dominating cost of the paper's 10 000-trial
      experiment. *)
   ignore (Simulator.make fpva);
-  let rows =
+  let rows, truncated =
     match stream with
     | Legacy ->
       let rng = Rng.create config.seed in
       let h = Simulator.make fpva in
-      List.map
-        (fun fault_count ->
+      let rec per_count acc = function
+        | [] -> (List.rev acc, [])
+        | fault_count :: rest ->
           (* Explicit loop: the shared legacy RNG must be consumed in
              trial order. *)
           let outcomes = Array.make config.trials (false, Void) in
-          for i = 0 to config.trials - 1 do
-            outcomes.(i) <-
-              run_trial h vectors ~classes:config.classes ~fault_count rng
-          done;
-          row_of_outcomes ~fault_count ~trials:config.trials (Array.get outcomes))
-        config.fault_counts
+          let complete = ref true in
+          (try
+             for i = 0 to config.trials - 1 do
+               if Budget.exhausted budget then begin
+                 complete := false;
+                 raise Exit
+               end;
+               outcomes.(i) <-
+                 run_trial h vectors ~classes:config.classes ~fault_count rng
+             done
+           with Exit -> ());
+          if !complete then
+            per_count
+              (row_of_outcomes ~fault_count ~trials:config.trials
+                 (Array.get outcomes)
+              :: acc)
+              rest
+          else (List.rev acc, fault_count :: rest)
+      in
+      per_count [] config.fault_counts
     | Sharded ->
       let counts = Array.of_list config.fault_counts in
       let trials = config.trials in
@@ -161,21 +194,31 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
       (* Trial [i] of row [r] draws from stream [r * trials + i] of the
          campaign seed: the injected fault set is a pure function of
          (seed, global trial index), so the rows are bit-identical for
-         every [jobs] value. *)
+         every [jobs] value.  Workers stop scoring new trials once the
+         budget is exhausted ([None] outcomes); affected rows are dropped
+         whole by [rows_and_truncated]. *)
       let outcomes =
         Pool.run ~jobs ~n
           ~init:(fun () -> Simulator.make fpva)
           ~body:(fun h g ->
-            run_trial h vectors ~classes:config.classes
-              ~fault_count:counts.(g / trials)
-              (Rng.derive config.seed g))
+            if Budget.exhausted budget then None
+            else
+              Some
+                (run_trial h vectors ~classes:config.classes
+                   ~fault_count:counts.(g / trials)
+                   (Rng.derive config.seed g)))
           ()
       in
-      List.mapi
-        (fun fc_idx fault_count ->
-          row_of_outcomes ~fault_count ~trials (fun i ->
-              outcomes.((fc_idx * trials) + i)))
-        config.fault_counts
+      let row_complete fc_idx =
+        let ok = ref true in
+        for i = fc_idx * trials to ((fc_idx + 1) * trials) - 1 do
+          if outcomes.(i) = None then ok := false
+        done;
+        !ok
+      in
+      rows_and_truncated config.fault_counts ~row_complete ~row_of:(fun fc_idx ->
+          row_of_outcomes ~fault_count:counts.(fc_idx) ~trials (fun i ->
+              Option.get outcomes.((fc_idx * trials) + i)))
   in
   let wall = Timer.elapsed t0 in
   if Trace.is_enabled () then begin
@@ -188,7 +231,7 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded) fpva
           ("jobs", string_of_int jobs);
           ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy") ]
   end;
-  { rows; wall_seconds = wall }
+  { rows; truncated; wall_seconds = wall }
 
 let effective_trials row = row.trials - row.void_draws
 
@@ -213,6 +256,9 @@ let pp_result ppf r =
           row.void_draws;
       Format.fprintf ppf "@.")
     r.rows;
+  if r.truncated <> [] then
+    Format.fprintf ppf "truncated: fault count(s) %s not run (budget exhausted)@."
+      (String.concat "," (List.map string_of_int r.truncated));
   Format.fprintf ppf "wall=%.1fs@." r.wall_seconds
 
 (* ---------- noise sweep ---------- *)
@@ -244,6 +290,7 @@ type noise_row = {
 
 type noise_result = {
   noise_rows : noise_row list;
+  n_truncated : (float * int) list;
   repeats : int;
   n_wall_seconds : float;
 }
@@ -328,7 +375,7 @@ let noise_row_of_outcomes ~noise ~fault_count ~trials outcome_at =
     total_reads = !total_reads; vector_slots = !vector_slots }
 
 let run_noisy ?(config = default_noise_config) ?(jobs = 1)
-    ?(stream = Sharded) fpva ~vectors =
+    ?(stream = Sharded) ?(budget = Budget.unlimited) fpva ~vectors =
   check_jobs "run_noisy" jobs stream;
   let t0 = Timer.now () in
   let base = config.base in
@@ -343,34 +390,53 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
   in
   ignore (meters_of ());
   ignore (Simulator.make fpva);
-  let rows =
+  (* Row keys in run order: the outer sweep is by noise level, inner by
+     fault count. *)
+  let row_keys =
+    List.concat_map
+      (fun noise -> List.map (fun fc -> (noise, fc)) base.fault_counts)
+      config.noise_levels
+  in
+  let rows, truncated =
     match stream with
     | Legacy ->
       let h = Simulator.make fpva in
-      List.concat_map
-        (fun noise ->
-          let meter =
-            Measurement.uniform fpva ~false_pass:noise ~false_fail:noise
-          in
-          (* The fault stream reuses the plain campaign's seed and draw
-             order, so every noise level (and [run] itself) scores the same
-             injected fault sets; meter noise comes from an independent
-             derived stream so that noise 0 + repeats 1 is bit-identical to
-             the ideal campaign. *)
-          let rng = Rng.create base.seed in
-          let meter_rng = Rng.create (base.seed lxor meter_salt) in
-          List.map
-            (fun fault_count ->
-              let outcomes = Array.make base.trials (false, N_void) in
-              for i = 0 to base.trials - 1 do
-                outcomes.(i) <-
-                  run_noisy_trial policy meter h vectors
-                    ~classes:base.classes ~fault_count rng meter_rng
-              done;
-              noise_row_of_outcomes ~noise ~fault_count ~trials:base.trials
-                (Array.get outcomes))
-            base.fault_counts)
-        config.noise_levels
+      let exception Wall in
+      let rows = ref [] in
+      (try
+         List.iter
+           (fun noise ->
+             let meter =
+               Measurement.uniform fpva ~false_pass:noise ~false_fail:noise
+             in
+             (* The fault stream reuses the plain campaign's seed and draw
+                order, so every noise level (and [run] itself) scores the same
+                injected fault sets; meter noise comes from an independent
+                derived stream so that noise 0 + repeats 1 is bit-identical to
+                the ideal campaign. *)
+             let rng = Rng.create base.seed in
+             let meter_rng = Rng.create (base.seed lxor meter_salt) in
+             List.iter
+               (fun fault_count ->
+                 let outcomes = Array.make base.trials (false, N_void) in
+                 (try
+                    for i = 0 to base.trials - 1 do
+                      if Budget.exhausted budget then raise Exit;
+                      outcomes.(i) <-
+                        run_noisy_trial policy meter h vectors
+                          ~classes:base.classes ~fault_count rng meter_rng
+                    done
+                  with Exit -> raise Wall);
+                 rows :=
+                   noise_row_of_outcomes ~noise ~fault_count
+                     ~trials:base.trials (Array.get outcomes)
+                   :: !rows)
+               base.fault_counts)
+           config.noise_levels
+       with Wall -> ());
+      let rows = List.rev !rows in
+      (* The truncated tail: everything after the completed prefix. *)
+      (rows, List.filteri (fun i _ -> i >= List.length rows) row_keys)
     | Sharded ->
       let levels = Array.of_list config.noise_levels in
       let counts = Array.of_list base.fault_counts in
@@ -386,24 +452,36 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
         Pool.run ~jobs ~n
           ~init:(fun () -> (Simulator.make fpva, meters_of ()))
           ~body:(fun (h, meters) g ->
-            let level_idx = g / per_level in
-            let rem = g mod per_level in
-            run_noisy_trial policy meters.(level_idx) h vectors
-              ~classes:base.classes
-              ~fault_count:counts.(rem / trials)
-              (Rng.derive base.seed rem)
-              (Rng.derive (base.seed lxor meter_salt) rem))
+            if Budget.exhausted budget then None
+            else
+              let level_idx = g / per_level in
+              let rem = g mod per_level in
+              Some
+                (run_noisy_trial policy meters.(level_idx) h vectors
+                   ~classes:base.classes
+                   ~fault_count:counts.(rem / trials)
+                   (Rng.derive base.seed rem)
+                   (Rng.derive (base.seed lxor meter_salt) rem)))
           ()
       in
-      List.concat
-        (List.mapi
-           (fun level_idx noise ->
-             List.mapi
-               (fun fc_idx fault_count ->
-                 noise_row_of_outcomes ~noise ~fault_count ~trials (fun i ->
-                     outcomes.((level_idx * per_level) + (fc_idx * trials) + i)))
-               base.fault_counts)
-           config.noise_levels)
+      let base_of row_idx =
+        let level_idx = row_idx / Array.length counts in
+        let fc_idx = row_idx mod Array.length counts in
+        (level_idx * per_level) + (fc_idx * trials)
+      in
+      let row_complete row_idx =
+        let b = base_of row_idx in
+        let ok = ref true in
+        for i = b to b + trials - 1 do
+          if outcomes.(i) = None then ok := false
+        done;
+        !ok
+      in
+      rows_and_truncated row_keys ~row_complete ~row_of:(fun row_idx ->
+          let noise, fault_count = List.nth row_keys row_idx in
+          let b = base_of row_idx in
+          noise_row_of_outcomes ~noise ~fault_count ~trials (fun i ->
+              Option.get outcomes.(b + i)))
   in
   let wall = Timer.elapsed t0 in
   if Trace.is_enabled () then begin
@@ -420,7 +498,8 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
           ("jobs", string_of_int jobs);
           ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy") ]
   end;
-  { noise_rows = rows; repeats = config.repeats; n_wall_seconds = wall }
+  { noise_rows = rows; n_truncated = truncated; repeats = config.repeats;
+    n_wall_seconds = wall }
 
 let pp_noise_row ppf row =
   Format.fprintf ppf
@@ -437,5 +516,9 @@ let pp_noise_result ppf r =
   List.iter
     (fun row -> Format.fprintf ppf "%a@." pp_noise_row row)
     r.noise_rows;
+  if r.n_truncated <> [] then
+    Format.fprintf ppf
+      "truncated: %d row(s) not run (budget exhausted)@."
+      (List.length r.n_truncated);
   Format.fprintf ppf "repeats<=%d per vector, wall=%.1fs@." r.repeats
     r.n_wall_seconds

@@ -65,6 +65,11 @@ type row = {
 
 type result = {
   rows : row list;
+  truncated : int list;
+      (** fault counts whose rows were {e not} run (or were dropped whole)
+          because the wall-clock budget ran out first — the degradation
+          marker of a budgeted campaign.  Always a suffix of
+          [config.fault_counts]; empty on an unbudgeted run. *)
   wall_seconds : float;
 }
 
@@ -72,11 +77,20 @@ val run :
   ?config:config ->
   ?jobs:int ->
   ?stream:stream ->
+  ?budget:Fpva_testgen.Budget.t ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   result
 (** [jobs] (default 1) is the number of domains trials are sharded across;
     rows are bit-identical for every [jobs] value on the {!Sharded} stream.
+
+    [budget] (default {!Fpva_testgen.Budget.unlimited}) caps wall clock:
+    once it is exhausted no further trial is scored, the row being
+    computed is dropped {e whole} (a partially-scored row would silently
+    change detection rates), and the dropped fault counts land in
+    {!result.truncated}.  The surviving rows are always a prefix of — and
+    bit-identical to — the rows of an unbudgeted run with the same
+    config, so budgeted partial results never disagree with full ones.
     @raise Invalid_argument if [jobs < 1], or if [stream = Legacy] and
     [jobs > 1]. *)
 
@@ -131,6 +145,9 @@ type noise_row = {
 
 type noise_result = {
   noise_rows : noise_row list;  (** keyed by noise level x fault count *)
+  n_truncated : (float * int) list;
+      (** (noise level, fault count) rows dropped for budget exhaustion —
+          a suffix of the run-order row keys; empty when unbudgeted *)
   repeats : int;
   n_wall_seconds : float;
 }
@@ -139,6 +156,7 @@ val run_noisy :
   ?config:noise_config ->
   ?jobs:int ->
   ?stream:stream ->
+  ?budget:Fpva_testgen.Budget.t ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   noise_result

@@ -14,6 +14,20 @@
 
 let default_jobs () = min (Domain.recommended_domain_count ()) 8
 
+exception Multi_failure of exn * (int * string) list
+
+let () =
+  Printexc.register_printer (function
+    | Multi_failure (first, rest) ->
+      Some
+        (Printf.sprintf "Pool.Multi_failure(%s; also %s)"
+           (Printexc.to_string first)
+           (String.concat "; "
+              (List.map
+                 (fun (wid, msg) -> Printf.sprintf "worker %d: %s" wid msg)
+                 rest)))
+    | _ -> None)
+
 let items_c = Trace.counter "pool.items"
 
 let sequential ~n ~init ~teardown ~body =
@@ -92,7 +106,23 @@ let run ~jobs ~n ~init ?teardown ~body () =
     in
     work 0;
     Array.iter Domain.join domains;
-    Array.iter (function Some e -> raise e | None -> ()) failures;
+    let failed = ref [] in
+    Array.iteri
+      (fun wid -> function
+        | Some e -> failed := (wid, e) :: !failed
+        | None -> ())
+      failures;
+    (match List.rev !failed with
+    | [] -> ()
+    | [ (_, e) ] -> raise e
+    | (_, first) :: rest ->
+      (* Concurrent failures: re-raising only the first would silently
+         discard evidence from the other workers.  Carry the primary
+         exception intact (unwrappable by handlers) plus the rest as
+         rendered summaries. *)
+      raise
+        (Multi_failure
+           (first, List.map (fun (wid, e) -> (wid, Printexc.to_string e)) rest)));
     Array.map
       (function
         | Some x -> x

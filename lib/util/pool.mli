@@ -18,6 +18,13 @@ val default_jobs : unit -> int
     default.  Campaign trials are memory-light, so beyond a handful of
     domains the shared cache, not the core count, bounds the speedup. *)
 
+exception Multi_failure of exn * (int * string) list
+(** Raised by {!run} when {e more than one} worker failed: the
+    lowest-numbered worker's exception, intact, plus [(worker id, rendered
+    exception)] for every other failed worker — concurrent failures are
+    reported, not discarded.  A printer is registered, so uncaught it
+    renders all of them. *)
+
 val run :
   jobs:int ->
   n:int ->
@@ -28,6 +35,7 @@ val run :
   'a array
 (** With [jobs = 1] (or [n <= 1]) everything runs in the calling domain and
     no domain is spawned.  If any [init], [body] or [teardown] raises, the
-    remaining workers finish their current chunk, every worker is joined,
-    and the exception of the lowest-numbered failed worker is re-raised.
+    remaining workers finish their current chunk and every worker is
+    joined; then a {e single} failure is re-raised as-is, while multiple
+    failures raise {!Multi_failure} aggregating all of them.
     @raise Invalid_argument if [jobs < 1] or [n < 0]. *)

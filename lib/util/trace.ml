@@ -112,12 +112,15 @@ let enable ?(sinks = []) () =
   epoch := Timer.now ();
   Atomic.set enabled true
 
-let disable () =
-  Atomic.set enabled false;
+let flush () =
   Mutex.lock sink_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock sink_mutex)
     (fun () -> List.iter (fun s -> s.flush ()) !installed_sinks)
+
+let disable () =
+  Atomic.set enabled false;
+  flush ()
 
 (* ---------- events ---------- *)
 
@@ -174,7 +177,7 @@ let json_line ev =
 
 let json_sink oc =
   { emit = (fun ev -> output_string oc (json_line ev));
-    flush = (fun () -> flush oc) }
+    flush = (fun () -> Stdlib.flush oc) }
 
 let collector () =
   let events = ref [] in

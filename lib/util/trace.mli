@@ -64,6 +64,13 @@ val disable : unit -> unit
 (** Stop tracing and flush every sink.  Counter values survive for
     inspection via {!counters}/{!metrics_table}. *)
 
+val flush : unit -> unit
+(** Flush every sink {e without} disabling — the shutdown-path hook.  A
+    long-lived daemon calls this from its SIGTERM/SIGINT drain (see
+    {!Fpva_serve.Server}) so a killed process never leaves a truncated
+    trace file; events keep flowing afterwards.  Serialised with event
+    emission, and a no-op with no sinks installed. *)
+
 val is_enabled : unit -> bool
 (** One atomic load — cheap enough to guard a [Timer.now] call with. *)
 

@@ -163,4 +163,128 @@ let diagnosis_tests =
           [ Fault.Stuck_at_0 0; Fault.Stuck_at_1 12; Fault.Stuck_at_0 20 ]);
   ]
 
-let tests = jobs_parity_tests @ stream_tests @ diagnosis_tests
+(* Worker-failure aggregation: one failure re-raises untouched, several
+   surface as Multi_failure carrying all of them. *)
+let pool_failure_tests =
+  let module Pool = Fpva_util.Pool in
+  [
+    case "a single worker failure is re-raised as-is" (fun () ->
+        Alcotest.check_raises "original exception" (Failure "lone")
+          (fun () ->
+            ignore
+              (Pool.run ~jobs:4 ~n:64
+                 ~init:(fun () -> ())
+                 ~body:(fun () i -> if i = 0 then failwith "lone" else i)
+                 ())));
+    case "concurrent failures aggregate into Multi_failure" (fun () ->
+        (* Every worker's [init] raises, so all four fail deterministically
+           no matter how chunks are scheduled. *)
+        match
+          Pool.run ~jobs:4 ~n:64
+            ~init:(fun () -> failwith "boom")
+            ~body:(fun () i -> i)
+            ()
+        with
+        | _ -> Alcotest.fail "expected Multi_failure"
+        | exception Pool.Multi_failure (first, rest) ->
+          checkb "first is the lowest worker's exception" true
+            (first = Failure "boom");
+          checki "other three workers reported" 3 (List.length rest);
+          List.iter
+            (fun (wid, msg) ->
+              checkb "worker id in range" true (wid >= 1 && wid <= 3);
+              checkb "rendered message" true
+                (String.length msg > 0
+                && String.sub msg 0 7 = "Failure"))
+            rest);
+    case "Multi_failure has a registered printer" (fun () ->
+        let rendered =
+          Printexc.to_string
+            (Fpva_util.Pool.Multi_failure
+               (Failure "first", [ (2, "Failure(\"second\")") ]))
+        in
+        checkb "mentions both failures" true
+          (let has needle =
+             let n = String.length needle and l = String.length rendered in
+             let rec go i =
+               i + n <= l && (String.sub rendered i n = needle || go (i + 1))
+             in
+             go 0
+           in
+           has "first" && has "worker 2" && has "second"));
+  ]
+
+(* Budgeted campaigns: whatever the wall clock does, the surviving rows
+   must be a prefix of — and bit-identical to — the unbudgeted run, with
+   the dropped fault counts reported as the matching suffix. *)
+let budget_tests =
+  let prefix_ok (full : Campaign.result) (part : Campaign.result) counts =
+    let n = List.length part.Campaign.rows in
+    n <= List.length full.Campaign.rows
+    && rows_eq part.Campaign.rows (List.filteri (fun i _ -> i < n) full.Campaign.rows)
+    && part.Campaign.truncated = List.filteri (fun i _ -> i >= n) counts
+  in
+  [
+    case "zero budget truncates every row" (fun () ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 30;
+            fault_counts = [ 1; 2; 3 ] }
+        in
+        let r =
+          Campaign.run ~config ~budget:(Budget.of_seconds 0.0) t ~vectors
+        in
+        checkb "no rows" true (r.Campaign.rows = []);
+        checkb "all counts truncated" true (r.Campaign.truncated = [ 1; 2; 3 ]));
+    case "unlimited budget truncates nothing" (fun () ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 30;
+            fault_counts = [ 1; 2 ] }
+        in
+        let r = Campaign.run ~config t ~vectors in
+        checkb "no truncation" true (r.Campaign.truncated = []);
+        checki "both rows" 2 (List.length r.Campaign.rows));
+    qcheck ~count:12 "budgeted rows are a bit-identical prefix of the full run"
+      QCheck2.Gen.(pair (int_bound 1_000) (int_bound 20))
+      (fun (seed, millis) ->
+        let t, vectors = Lazy.force five in
+        let counts = [ 1; 2; 3; 4 ] in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 60;
+            fault_counts = counts;
+            seed }
+        in
+        let full = Campaign.run ~config ~jobs:2 t ~vectors in
+        let part =
+          Campaign.run ~config ~jobs:2
+            ~budget:(Budget.of_seconds (float_of_int millis /. 1000.0))
+            t ~vectors
+        in
+        prefix_ok full part counts);
+    case "run_noisy budget truncation is a suffix of the row keys" (fun () ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.base =
+              { Campaign.default_config with
+                Campaign.trials = 20;
+                fault_counts = [ 1; 2 ] };
+            noise_levels = [ 0.0; 0.02 ];
+            repeats = 2 }
+        in
+        let r =
+          Campaign.run_noisy ~config ~budget:(Budget.of_seconds 0.0) t
+            ~vectors
+        in
+        checkb "no rows" true (r.Campaign.noise_rows = []);
+        checkb "all keys truncated" true
+          (r.Campaign.n_truncated
+          = [ (0.0, 1); (0.0, 2); (0.02, 1); (0.02, 2) ]));
+  ]
+
+let tests =
+  jobs_parity_tests @ stream_tests @ diagnosis_tests @ pool_failure_tests
+  @ budget_tests

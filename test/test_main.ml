@@ -28,5 +28,6 @@ let () =
       ("noise", Suite_noise.tests);
       ("parallel", Suite_parallel.tests);
       ("trace", Suite_trace.tests);
+      ("serve", Suite_serve.tests);
       ("properties", Suite_props.tests);
     ]
