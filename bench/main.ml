@@ -612,6 +612,134 @@ let campaign_bench ~trials () =
   agreement && rows_identical && traced_rows_identical
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint overhead: journaled vs plain campaign throughput         *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance gate for crash-safe campaigns: journaling every shard
+   to a write-ahead log (with periodic fsync) must cost less than 10% of
+   campaign throughput on the default 8x8 array, and a resume from a
+   truncated journal must reproduce the plain run's rows byte for byte.
+   Best-of-3 timing damps runner noise; the first pair of runs also warms
+   the compiled-simulator cache so neither side pays it alone. *)
+let checkpoint_bench ~trials () =
+  heading
+    (Printf.sprintf
+       "Checkpoint overhead: 8x8 array, %d trials per fault count" trials);
+  let module Campaign = Fpva_sim.Campaign in
+  let module Checkpoint = Fpva_sim.Checkpoint in
+  let fpva = Layouts.paper_array 8 in
+  let suite = Pipeline.run_exn fpva in
+  let vectors = suite.Pipeline.vectors in
+  let config =
+    { Fpva_sim.Campaign.default_config with Fpva_sim.Campaign.trials }
+  in
+  let total_trials =
+    trials * List.length config.Fpva_sim.Campaign.fault_counts
+  in
+  let rate n wall = float_of_int n /. Float.max wall 1e-9 in
+  let rendered = Fpva_serve.Protocol.rendered_rows in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fpva-bench-ckpt-%d.bin" (Unix.getpid ()))
+  in
+  let key = Campaign.checkpoint_key config fpva ~vectors in
+  let open_ck ~resume =
+    match Checkpoint.open_ ~path ~resume ~key () with
+    | Ok ck -> ck
+    | Error e ->
+      failwith ("checkpoint bench: " ^ Checkpoint.open_error_to_string e)
+  in
+  let best_of n f =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to n do
+      let r = f () in
+      best := Float.min !best r.Fpva_sim.Campaign.wall_seconds;
+      last := Some r
+    done;
+    (Option.get !last, !best)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let plain, plain_wall =
+        best_of 3 (fun () -> Campaign.run ~config fpva ~vectors)
+      in
+      let journaled, journaled_wall =
+        best_of 3 (fun () ->
+            (try Sys.remove path with Sys_error _ -> ());
+            let ck = open_ck ~resume:false in
+            let r = Campaign.run ~config ~checkpoint:ck fpva ~vectors in
+            if Checkpoint.failure ck <> None then
+              failwith "checkpoint bench: journal write failed";
+            Checkpoint.close ck;
+            r)
+      in
+      let journal_bytes = (Unix.stat path).Unix.st_size in
+      let rows_identical = rendered journaled = rendered plain in
+      (* Interrupt: drop the final third of the journal (possibly tearing
+         a record), resume, and demand the same rows with real replay. *)
+      let cut = journal_bytes * 2 / 3 in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd cut;
+      Unix.close fd;
+      let ck = open_ck ~resume:true in
+      let resumed = Campaign.run ~config ~checkpoint:ck fpva ~vectors in
+      let resumed_shards = Checkpoint.resumed_shards ck in
+      let recomputed_shards = Checkpoint.recorded_shards ck in
+      Checkpoint.close ck;
+      let resume_rows_identical = rendered resumed = rendered plain in
+      let resume_exercised = resumed_shards > 0 && recomputed_shards > 0 in
+      let plain_tps = rate total_trials plain_wall in
+      let journaled_tps = rate total_trials journaled_wall in
+      let overhead = (journaled_wall /. Float.max plain_wall 1e-9) -. 1.0 in
+      let overhead_ok = overhead < 0.10 in
+      Printf.printf "plain      : %d trials in %.3fs  (%.0f trials/s)\n"
+        total_trials plain_wall plain_tps;
+      Printf.printf
+        "journaled  : %d trials in %.3fs  (%.0f trials/s, journal %d bytes)\n"
+        total_trials journaled_wall journaled_tps journal_bytes;
+      Printf.printf "overhead   : %.1f%% (gate: < 10%%)\n" (100.0 *. overhead);
+      Printf.printf
+        "resume     : truncated to %d bytes, replayed %d shards, recomputed \
+         %d\n"
+        cut resumed_shards recomputed_shards;
+      if not overhead_ok then
+        Printf.printf "ERROR: checkpointing costs more than 10%% throughput\n";
+      if not rows_identical then
+        Printf.printf "ERROR: journaled rows differ from plain rows\n";
+      if not resume_rows_identical then
+        Printf.printf "ERROR: resumed rows differ from plain rows\n";
+      if not resume_exercised then
+        Printf.printf
+          "ERROR: resume was vacuous (nothing replayed or nothing \
+           recomputed)\n";
+      let oc = open_out "BENCH_checkpoint.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"layout\": \"paper_array_8x8\",\n\
+        \  \"vectors\": %d,\n\
+        \  \"trials_per_fault_count\": %d,\n\
+        \  \"total_trials\": %d,\n\
+        \  \"plain_trials_per_sec\": %.1f,\n\
+        \  \"journaled_trials_per_sec\": %.1f,\n\
+        \  \"overhead_pct\": %.2f,\n\
+        \  \"overhead_under_10pct\": %b,\n\
+        \  \"journal_bytes\": %d,\n\
+        \  \"rows_identical\": %b,\n\
+        \  \"resumed_shards\": %d,\n\
+        \  \"recomputed_shards\": %d,\n\
+        \  \"resume_rows_identical\": %b\n\
+         }\n"
+        suite.Pipeline.total trials total_trials plain_tps journaled_tps
+        (100.0 *. overhead) overhead_ok journal_bytes rows_identical
+        resumed_shards recomputed_shards resume_rows_identical;
+      close_out oc;
+      Printf.printf "wrote BENCH_checkpoint.json\n";
+      overhead_ok && rows_identical && resume_rows_identical
+      && resume_exercised)
+
+(* ------------------------------------------------------------------ *)
 (* Persistent service: cold vs warm request latency                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -850,12 +978,15 @@ let () =
   | _ :: "campaign" :: rest ->
     let trials = match rest with t :: _ -> int_of_string t | [] -> 10_000 in
     if not (campaign_bench ~trials ()) then exit 1
+  | _ :: "checkpoint" :: rest ->
+    let trials = match rest with t :: _ -> int_of_string t | [] -> 10_000 in
+    if not (checkpoint_bench ~trials ()) then exit 1
   | _ :: "serve" :: _ -> if not (serve_bench ()) then exit 1
   | _ :: "micro" :: _ -> micro ()
   | _ :: unknown :: _ ->
     Printf.eprintf
       "unknown experiment %S (try table1 | fig8 | fig9 | faults | ablation | \
-       noise | extensions | campaign | serve | micro)\n"
+       noise | extensions | campaign | checkpoint | serve | micro)\n"
       unknown;
     exit 2
   | [ _ ] | [] ->
@@ -866,5 +997,6 @@ let () =
     ablation ();
     extensions ();
     ignore (campaign_bench ~trials:2_000 ());
+    ignore (checkpoint_bench ~trials:2_000 ());
     ignore (serve_bench ());
     micro ()

@@ -25,11 +25,22 @@ let exit_internal = 1
 let exit_invalid = 2
 let exit_strict = 3
 
+(* Invalid input discovered mid-run (e.g. a checkpoint file that refuses
+   to resume this campaign), raised so enclosing cleanups — notably the
+   trace flush in [with_observability] — still run before the exit-2. *)
+exception Invalid_input of string
+
+let invalid_input fmt =
+  Printf.ksprintf (fun msg -> raise (Invalid_input msg)) fmt
+
 (* Anything [run] throws past argument validation is a bug in the tool,
    not a usage error: report it on one line and exit 1, distinguishable
    from both invalid input (2) and strict degradation (3). *)
 let guard_internal run =
   try run () with
+  | Invalid_input msg ->
+    prerr_endline ("error: " ^ msg);
+    exit exit_invalid
   | e ->
     prerr_endline ("internal error: " ^ Printexc.to_string e);
     exit exit_internal
@@ -340,9 +351,61 @@ let resolve_jobs jobs =
   else if jobs = 0 then Fpva_util.Pool.default_jobs ()
   else jobs
 
+(* ---------- checkpoint/resume ---------- *)
+
+let checkpoint_t =
+  let doc =
+    "Journal completed work shards to FILE (crash-safe: length-prefixed \
+     CRC-checked records, torn tails recovered).  With --resume an \
+     existing FILE's shards are replayed instead of recomputed; the \
+     results are bit-identical either way."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_t =
+  let doc =
+    "Resume from --checkpoint FILE if it exists (a file recorded by a \
+     different layout/config/seed/suite is refused).  Without this flag \
+     an existing FILE is overwritten."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* Open the checkpoint once the run's key is computable (the key digests
+   the generated suite, so this happens after generation).  Open failures
+   are the user's input being unusable, not a bug: exit 2. *)
+let open_checkpoint ~checkpoint ~resume ~key =
+  match checkpoint with
+  | None ->
+    if resume then invalid_input "--resume requires --checkpoint FILE";
+    None
+  | Some path -> (
+    match Fpva_sim.Checkpoint.open_ ~path ~resume ~key () with
+    | Ok ck -> Some ck
+    | Error e ->
+      invalid_input "%s" (Fpva_sim.Checkpoint.open_error_to_string e))
+
+(* The resumed/computed split, printed after every checkpointed run — CI
+   greps it to prove a resumed run actually skipped work (and actually
+   had work left to do). *)
+let finish_checkpoint = function
+  | None -> ()
+  | Some ck ->
+    Printf.printf "checkpoint: resumed %d shards, computed %d\n"
+      (Fpva_sim.Checkpoint.resumed_shards ck)
+      (Fpva_sim.Checkpoint.recorded_shards ck);
+    (match Fpva_sim.Checkpoint.failure ck with
+    | Some msg ->
+      Printf.eprintf
+        "warning: checkpointing disabled mid-run (%s); results are \
+         complete but the journal is not\n"
+        msg
+    | None -> ());
+    Fpva_sim.Checkpoint.close ck
+
 let campaign_cmd =
   let run name rows cols direct block no_leak trials seed max_faults classes
-      noise repeats jobs time_limit strict trace metrics =
+      noise repeats jobs time_limit checkpoint resume strict trace metrics =
     guard_internal @@ fun () ->
     let fpva = resolve_layout ~file:None name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
@@ -360,6 +423,10 @@ let campaign_cmd =
     if repeats < 1 then begin
       prerr_endline "error: --repeats must be >= 1";
       exit 2
+    end;
+    if resume && checkpoint = None then begin
+      prerr_endline "error: --resume requires --checkpoint FILE";
+      exit exit_invalid
     end;
     let jobs = resolve_jobs jobs in
     let budget =
@@ -383,19 +450,33 @@ let campaign_cmd =
                 noise_levels = [ noise ];
                 repeats }
             in
+            let ck =
+              open_checkpoint ~checkpoint ~resume
+                ~key:
+                  (Fpva_sim.Campaign.noisy_checkpoint_key noise_config fpva
+                     ~vectors:result.Pipeline.vectors)
+            in
             let r =
               Fpva_sim.Campaign.run_noisy ~config:noise_config ~jobs ~budget
-                fpva ~vectors:result.Pipeline.vectors
+                ?checkpoint:ck fpva ~vectors:result.Pipeline.vectors
             in
             Format.printf "%a@?" Fpva_sim.Campaign.pp_noise_result r;
+            finish_checkpoint ck;
             r.Fpva_sim.Campaign.n_truncated <> []
           end
           else begin
+            let ck =
+              open_checkpoint ~checkpoint ~resume
+                ~key:
+                  (Fpva_sim.Campaign.checkpoint_key campaign_config fpva
+                     ~vectors:result.Pipeline.vectors)
+            in
             let r =
-              Fpva_sim.Campaign.run ~config:campaign_config ~jobs ~budget fpva
-                ~vectors:result.Pipeline.vectors
+              Fpva_sim.Campaign.run ~config:campaign_config ~jobs ~budget
+                ?checkpoint:ck fpva ~vectors:result.Pipeline.vectors
             in
             Format.printf "%a@?" Fpva_sim.Campaign.pp_result r;
+            finish_checkpoint ck;
             r.Fpva_sim.Campaign.truncated <> []
           end)
     in
@@ -405,7 +486,8 @@ let campaign_cmd =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ direct_t $ block_t $ no_leak_t
       $ trials_t $ seed_t $ max_faults_t $ classes_t $ noise_t $ repeats_t
-      $ jobs_t $ time_limit_t $ strict_t $ trace_t $ metrics_t)
+      $ jobs_t $ time_limit_t $ checkpoint_t $ resume_t $ strict_t $ trace_t
+      $ metrics_t)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -449,7 +531,7 @@ let confidence_t =
 
 let diagnose_cmd =
   let run name rows cols file direct block no_leak inject noise repeats
-      confidence seed jobs trace metrics =
+      confidence seed jobs checkpoint resume trace metrics =
     guard_internal @@ fun () ->
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
@@ -460,6 +542,10 @@ let diagnose_cmd =
     if repeats < 1 then begin
       prerr_endline "error: --repeats must be >= 1";
       exit 2
+    end;
+    if resume && checkpoint = None then begin
+      prerr_endline "error: --resume requires --checkpoint FILE";
+      exit exit_invalid
     end;
     let jobs = resolve_jobs jobs in
     let injected =
@@ -476,10 +562,17 @@ let diagnose_cmd =
     let result = Pipeline.run_exn ~config fpva in
     print_endline (Report.summary result);
     let faults = Fpva_sim.Diagnosis.single_faults fpva in
-    let dict =
-      Fpva_sim.Diagnosis.build ~jobs fpva ~vectors:result.Pipeline.vectors
-        ~faults
+    let ck =
+      open_checkpoint ~checkpoint ~resume
+        ~key:
+          (Fpva_sim.Diagnosis.checkpoint_key fpva
+             ~vectors:result.Pipeline.vectors ~faults)
     in
+    let dict =
+      Fpva_sim.Diagnosis.build ~jobs ?checkpoint:ck fpva
+        ~vectors:result.Pipeline.vectors ~faults
+    in
+    finish_checkpoint ck;
     let classes = Fpva_sim.Diagnosis.equivalence_classes dict in
     Printf.printf
       "diagnostic dictionary: %d single faults, %d distinguishable classes \
@@ -567,7 +660,7 @@ let diagnose_cmd =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
       $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t
-      $ jobs_t $ trace_t $ metrics_t)
+      $ jobs_t $ checkpoint_t $ resume_t $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "diagnose"
@@ -642,12 +735,23 @@ let serve_cmd =
       & opt (some float) None
       & info [ "max-deadline" ] ~docv:"SECONDS" ~doc)
   in
+  let checkpoint_dir_t =
+    let doc =
+      "Checkpoint campaign requests under DIR (created if missing): a \
+       daemon killed mid-campaign and restarted on the same DIR resumes \
+       the request's completed shards instead of recomputing them."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+  in
   let chaos_ops_t =
     let doc = "Accept the test-only `crash' op (chaos harnesses only)." in
     Arg.(value & flag & info [ "chaos-ops" ] ~doc)
   in
   let run socket port workers max_queue idle_timeout drain_timeout max_deadline
-      chaos_ops trace metrics =
+      checkpoint_dir chaos_ops trace metrics =
     let addr = resolve_addr ~socket ~port in
     if workers < 1 then begin
       prerr_endline "error: --workers must be >= 1";
@@ -665,6 +769,7 @@ let serve_cmd =
         idle_timeout;
         drain_timeout;
         max_deadline;
+        checkpoint_dir;
         chaos_ops }
     in
     match Serve.create config with
@@ -683,7 +788,8 @@ let serve_cmd =
   let term =
     Term.(
       const run $ socket_t $ port_t $ workers_t $ max_queue_t $ idle_timeout_t
-      $ drain_timeout_t $ max_deadline_t $ chaos_ops_t $ trace_t $ metrics_t)
+      $ drain_timeout_t $ max_deadline_t $ checkpoint_dir_t $ chaos_ops_t
+      $ trace_t $ metrics_t)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -713,6 +819,26 @@ let client_cmd =
     in
     Arg.(value & opt int 4 & info [ "retries" ] ~docv:"N" ~doc)
   in
+  let max_attempts_t =
+    let doc =
+      "Hard cap on total attempts (first + retries); overrides --retries. \
+       Exhaustion exits 1 with the last failure."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let retry_budget_t =
+    let doc =
+      "Wall-clock cap in milliseconds across all attempts of the request: \
+       per-attempt timeouts are clamped to what remains and a backoff \
+       that would overrun it gives up — so a dead server costs at most \
+       about this long.  Exhaustion exits 1 with the last failure."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retry-budget-ms" ] ~docv:"MS" ~doc)
+  in
   let timeout_t =
     let doc = "Seconds to wait for the complete response." in
     Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
@@ -733,7 +859,8 @@ let client_cmd =
     Arg.(value & flag & info [ "raw" ] ~doc)
   in
   let run op socket port name rows cols file direct block no_leak trials seed
-      max_faults classes jobs deadline_ms retries timeout idempotency_key raw =
+      max_faults classes jobs deadline_ms retries max_attempts retry_budget_ms
+      timeout idempotency_key raw =
     let addr = resolve_addr ~socket ~port in
     let gen =
       { Protocol.direct; block; no_leakage = no_leak }
@@ -771,10 +898,27 @@ let client_cmd =
       prerr_endline "error: --retries must be >= 0";
       exit exit_invalid
     end;
+    let retries =
+      match max_attempts with
+      | None -> retries
+      | Some n when n >= 1 -> n - 1
+      | Some _ ->
+        prerr_endline "error: --max-attempts must be >= 1";
+        exit exit_invalid
+    in
+    let retry_budget =
+      match retry_budget_ms with
+      | None -> None
+      | Some ms when ms >= 1 -> Some (float_of_int ms /. 1000.0)
+      | Some _ ->
+        prerr_endline "error: --retry-budget-ms must be >= 1";
+        exit exit_invalid
+    in
     guard_internal @@ fun () ->
     let cfg =
       { (Serve_client.default_config addr) with
         Serve_client.retries;
+        retry_budget;
         read_timeout = timeout;
         log = prerr_endline }
     in
@@ -807,7 +951,8 @@ let client_cmd =
       const run $ op_t $ socket_t $ port_t $ layout_t $ rows_t $ cols_t
       $ file_t $ direct_t $ block_t $ no_leak_t $ trials_t $ seed_t
       $ max_faults_t $ classes_t $ jobs_t $ deadline_t $ retries_t
-      $ timeout_t $ idempotency_key_t $ raw_t)
+      $ max_attempts_t $ retry_budget_t $ timeout_t $ idempotency_key_t
+      $ raw_t)
   in
   Cmd.v
     (Cmd.info "client"

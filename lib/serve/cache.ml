@@ -83,14 +83,24 @@ type layout_entry = {
   suites : (string, Pipeline.t * string) Hashtbl.t;
 }
 
-type t = { mutex : Mutex.t; layouts : layout_entry Lru.t }
+type t = {
+  mutex : Mutex.t;
+  layouts : layout_entry Lru.t;
+  (* Suite lookups live inside layout entries, so the Lru counters above
+     conflate them with layout traffic; these count suite hits/misses
+     alone (a layout-miss lookup is a suite miss too: the suite was not
+     served from cache). *)
+  mutable suite_hits : int;
+  mutable suite_misses : int;
+}
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let create ?(capacity = 32) () =
-  { mutex = Mutex.create (); layouts = Lru.create ~capacity }
+  { mutex = Mutex.create (); layouts = Lru.create ~capacity;
+    suite_hits = 0; suite_misses = 0 }
 
 let resolve t text =
   match Parse.parse text with
@@ -115,9 +125,15 @@ let resolve t text =
 
 let find_suite t ~hash ~key =
   locked t (fun () ->
-      match Lru.find t.layouts hash with
-      | Some entry -> Hashtbl.find_opt entry.suites key
-      | None -> None)
+      let found =
+        match Lru.find t.layouts hash with
+        | Some entry -> Hashtbl.find_opt entry.suites key
+        | None -> None
+      in
+      (match found with
+      | Some _ -> t.suite_hits <- t.suite_hits + 1
+      | None -> t.suite_misses <- t.suite_misses + 1);
+      found)
 
 let store_suite t ~hash ~key suite =
   locked t (fun () ->
@@ -126,6 +142,20 @@ let store_suite t ~hash ~key suite =
       | None -> ())
 
 let stats t = locked t (fun () -> Lru.stats t.layouts)
+
+let suite_stats t =
+  locked t (fun () ->
+      let size =
+        Hashtbl.fold
+          (fun _ (e : layout_entry Lru.entry) acc ->
+            acc + Hashtbl.length e.Lru.value.suites)
+          t.layouts.Lru.table 0
+      in
+      (* Suites are bounded by layout eviction, not their own capacity;
+         0 marks "unbounded within the layout entry".  Evicting a layout
+         drops its suites wholesale, so no per-suite eviction count. *)
+      { size; capacity = 0; hits = t.suite_hits; misses = t.suite_misses;
+        evictions = 0 })
 
 (* ---------- idempotent responses ---------- *)
 

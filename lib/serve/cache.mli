@@ -55,6 +55,13 @@ val store_suite :
 
 val stats : t -> stats
 
+val suite_stats : t -> stats
+(** Suite-lookup traffic alone ({!find_suite} hits/misses — the layout
+    [stats] counters also tick on those lookups, so keep them apart when
+    reading dashboards).  [size] is the total cached suites across all
+    layout entries; [capacity] and [evictions] are 0 — suites are bounded
+    by layout eviction, not a capacity of their own. *)
+
 (** {1 Idempotent-response cache} *)
 
 module Responses : sig

@@ -4,6 +4,7 @@ module Rng = Fpva_util.Rng
 type config = {
   addr : Protocol.addr;
   retries : int;
+  retry_budget : float option;
   connect_timeout : float;
   read_timeout : float;
   base_backoff : float;
@@ -15,6 +16,7 @@ type config = {
 let default_config addr =
   { addr;
     retries = 4;
+    retry_budget = None;
     connect_timeout = 5.0;
     read_timeout = 120.0;
     base_backoff = 0.05;
@@ -160,20 +162,35 @@ let call cfg envelope =
   in
   let line = Json.to_string (Protocol.request_to_json envelope) in
   let rng = Rng.derive cfg.jitter_seed (Hashtbl.hash line) in
+  let started = Timer.now () in
+  (* Per-attempt timeouts clamped to what is left of the retry budget, so
+     the budget bounds wall clock even against a server that accepts the
+     connection and then never answers. *)
+  let attempt_cfg () =
+    match cfg.retry_budget with
+    | None -> cfg
+    | Some b ->
+      let left = Float.max 0.01 (b -. Timer.elapsed started) in
+      { cfg with
+        connect_timeout = Float.min cfg.connect_timeout left;
+        read_timeout = Float.min cfg.read_timeout left }
+  in
+  let give_up n why =
+    Error
+      (Printf.sprintf "giving up after %d attempt%s: %s" (n + 1)
+         (if n = 0 then "" else "s")
+         why)
+  in
   let rec attempt n =
     let outcome =
-      match call_once cfg line with
+      match call_once (attempt_cfg ()) line with
       | Error msg -> Retry msg
       | Ok raw -> classify raw
     in
     match outcome with
     | Definitive json -> Ok json
     | Retry why ->
-      if n >= cfg.retries then
-        Error
-          (Printf.sprintf "giving up after %d attempt%s: %s" (n + 1)
-             (if n = 0 then "" else "s")
-             why)
+      if n >= cfg.retries then give_up n why
       else begin
         (* Exponential backoff, full jitter: delay in (0, cap] spreads a
            retry herd instead of re-synchronising it. *)
@@ -182,11 +199,17 @@ let call cfg envelope =
             (cfg.base_backoff *. Float.pow 2.0 (float_of_int n))
         in
         let delay = Rng.float rng cap in
-        cfg.log
-          (Printf.sprintf "attempt %d failed (%s); retrying in %.0f ms"
-             (n + 1) why (1000.0 *. delay));
-        (try Unix.sleepf delay with Unix.Unix_error _ -> ());
-        attempt (n + 1)
+        match cfg.retry_budget with
+        | Some b when Timer.elapsed started +. delay >= b ->
+          give_up n
+            (Printf.sprintf "%s (retry budget of %.0f ms exhausted)" why
+               (1000.0 *. b))
+        | _ ->
+          cfg.log
+            (Printf.sprintf "attempt %d failed (%s); retrying in %.0f ms"
+               (n + 1) why (1000.0 *. delay));
+          (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+          attempt (n + 1)
       end
   in
   attempt 0

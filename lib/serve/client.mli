@@ -23,6 +23,13 @@
 type config = {
   addr : Protocol.addr;
   retries : int;  (** extra attempts after the first (default 4) *)
+  retry_budget : float option;
+      (** wall-clock cap in seconds across {e all} attempts of one
+          {!call} (default [None] = unlimited).  Per-attempt connect and
+          read timeouts are clamped to what remains, and a backoff that
+          would overrun the budget gives up instead — so a dead or
+          never-answering server costs at most roughly this long.  The
+          attempt count cap ([retries]) still applies independently. *)
   connect_timeout : float;  (** seconds to establish the connection *)
   read_timeout : float;  (** seconds to wait for the complete response
                              frame once the request is written *)
@@ -33,8 +40,8 @@ type config = {
 }
 
 val default_config : Protocol.addr -> config
-(** 4 retries, 5 s connect, 120 s read, 50 ms base backoff capped at 2 s,
-    jitter seed 0, no logging. *)
+(** 4 retries, no retry budget, 5 s connect, 120 s read, 50 ms base
+    backoff capped at 2 s, jitter seed 0, no logging. *)
 
 val fresh_key : unit -> string
 (** A process-unique idempotency key (pid + monotonic counter + clock). *)

@@ -4,6 +4,7 @@ module Budget = Fpva_testgen.Budget
 module Pipeline = Fpva_testgen.Pipeline
 module Suite_io = Fpva_testgen.Suite_io
 module Campaign = Fpva_sim.Campaign
+module Checkpoint = Fpva_sim.Checkpoint
 
 let requests_c = Trace.counter "serve.requests"
 let errors_c = Trace.counter "serve.errors"
@@ -21,6 +22,7 @@ type config = {
   drain_timeout : float;
   max_frame : int;
   max_deadline : float option;
+  checkpoint_dir : string option;
   chaos_ops : bool;
   log : string -> unit;
 }
@@ -35,6 +37,7 @@ let default_config addr =
     drain_timeout = 5.0;
     max_frame = 8 * 1024 * 1024;
     max_deadline = None;
+    checkpoint_dir = None;
     chaos_ops = false;
     log = (fun line -> Printf.eprintf "fpva-serve: %s\n%!" line) }
 
@@ -77,6 +80,10 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let create cfg =
   ignore_sigpipe ();
+  (match cfg.checkpoint_dir with
+  | Some dir when not (Sys.file_exists dir) ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
   let make_socket () =
     match cfg.addr with
     | Protocol.Unix_sock path ->
@@ -181,6 +188,7 @@ let stats_json t =
       ("workers", Json.Int t.cfg.workers);
       ("stopping", Json.Bool (Atomic.get t.stopping));
       ("layout_cache", cache_stats_json (Cache.stats t.layouts));
+      ("suite_cache", cache_stats_json (Cache.suite_stats t.layouts));
       ("response_cache",
        cache_stats_json (Cache.Responses.stats t.responses)) ]
 
@@ -243,6 +251,39 @@ let resolve_layout t layout =
   | Ok (hash, fpva) -> (hash, fpva)
   | Error msg -> raise (Reject (Protocol.Bad_request, msg))
 
+(* With a checkpoint dir configured, each campaign request gets a journal
+   file named by its key digest: a daemon killed mid-campaign and
+   restarted on the same dir resumes the request's completed shards
+   instead of recomputing them.  Checkpointing is strictly best-effort
+   here — any open failure degrades to an uncheckpointed (still correct)
+   run rather than failing the request. *)
+let checkpoint_for t ~campaign_config ~fpva ~vectors =
+  match t.cfg.checkpoint_dir with
+  | None -> None
+  | Some dir ->
+    let key = Campaign.checkpoint_key campaign_config fpva ~vectors in
+    let path = Filename.concat dir (Checkpoint.key_digest key ^ ".ckpt") in
+    let fresh () =
+      match Checkpoint.open_ ~path ~resume:false ~key () with
+      | Ok ck -> Some ck
+      | Error e ->
+        t.cfg.log
+          (Printf.sprintf "checkpoint disabled for this request: %s"
+             (Checkpoint.open_error_to_string e));
+        None
+    in
+    (match Checkpoint.open_ ~path ~resume:true ~key () with
+    | Ok ck -> Some ck
+    | Error (Checkpoint.Corrupt _ | Checkpoint.Key_mismatch _) ->
+      (* Scratch from an older run (or a digest collision): the daemon
+         must never wedge on its own leftovers — recycle the slot. *)
+      (try Sys.remove path with Sys_error _ -> ());
+      fresh ()
+    | Error (Checkpoint.Io_failure msg) ->
+      t.cfg.log
+        (Printf.sprintf "checkpoint disabled for this request: %s" msg);
+      None)
+
 let execute t (env : Protocol.envelope) : Json.t =
   let budget = budget_of t env.Protocol.deadline_ms in
   match env.Protocol.request with
@@ -275,9 +316,27 @@ let execute t (env : Protocol.envelope) : Json.t =
     in
     (* The same budget object keeps ticking: suite generation consumed
        its share, the campaign gets whatever wall clock is left. *)
+    let run_campaign ?checkpoint () =
+      Campaign.run ?checkpoint ~config:campaign_config
+        ~jobs:campaign.Protocol.jobs ~budget fpva
+        ~vectors:result.Pipeline.vectors
+    in
     let r =
-      Campaign.run ~config:campaign_config ~jobs:campaign.Protocol.jobs
-        ~budget fpva ~vectors:result.Pipeline.vectors
+      match checkpoint_for t ~campaign_config ~fpva ~vectors:result.Pipeline.vectors with
+      | None -> run_campaign ()
+      | Some ck -> (
+        match run_campaign ~checkpoint:ck () with
+        | r ->
+          (* A complete result means the request is answered — the journal
+             is scratch, not a cache (the response cache replays retries).
+             A truncated one keeps its file: the retry that granted more
+             budget resumes instead of restarting. *)
+          if r.Campaign.truncated = [] then Checkpoint.delete ck
+          else Checkpoint.close ck;
+          r
+        | exception e ->
+          Checkpoint.close ck;
+          raise e)
     in
     with_cached_flag cached (Protocol.campaign_result_json ~layout_hash:hash r)
 

@@ -43,13 +43,23 @@ type config = {
   max_deadline : float option;
       (** upper clamp (seconds) on per-request deadlines; [None] lets a
           request run unbounded when it asks no deadline *)
+  checkpoint_dir : string option;
+      (** directory (created if missing) for per-request campaign
+          checkpoints, named [<key-digest>.ckpt] after
+          {!Fpva_sim.Campaign.checkpoint_key}.  A daemon killed
+          mid-campaign and restarted on the same dir {e resumes} the
+          request's completed shards; the file is deleted once the
+          request completes untruncated (kept when the budget truncated
+          it, so a more generous retry resumes).  Best-effort: any
+          checkpoint failure degrades to an uncheckpointed run. *)
   chaos_ops : bool;  (** accept the test-only [crash] op *)
   log : string -> unit;  (** structured one-line log sink *)
 }
 
 val default_config : Protocol.addr -> config
 (** Stderr logging, 4 workers, queue 16, caches 32/256, idle 30 s, drain
-    5 s, 8 MiB frames, no deadline clamp, chaos ops off. *)
+    5 s, 8 MiB frames, no deadline clamp, no checkpoint dir, chaos ops
+    off. *)
 
 type t
 

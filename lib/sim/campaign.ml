@@ -72,6 +72,16 @@ let check_jobs fn jobs stream =
          fn)
   | Legacy | Sharded -> ()
 
+let check_checkpoint fn checkpoint stream =
+  match (checkpoint, stream) with
+  | Some _, Legacy ->
+    (* Skipping a journaled trial would shift every later draw of the
+       sequential RNG — the resumed rows could never match a cold run. *)
+    invalid_arg
+      (Printf.sprintf
+         "Campaign.%s: checkpointing requires the sharded stream" fn)
+  | _ -> ()
+
 (* First 1-based index of a detecting vector, scanning with the worker's
    own compiled handle. *)
 let first_detect_index h vectors ~faults =
@@ -146,9 +156,95 @@ let rows_and_truncated counts ~row_complete ~row_of =
   in
   build 0
 
+(* ---------- checkpoint plumbing ---------- *)
+
+module Enc = Fpva_util.Journal.Enc
+module Dec = Fpva_util.Journal.Dec
+
+let classes_tag classes =
+  String.concat ","
+    (List.map
+       (function
+         | `Stuck_at_0 -> "sa0" | `Stuck_at_1 -> "sa1" | `Control_leak -> "leak")
+       classes)
+
+(* The key pins everything the rows depend on — canonical layout, suite
+   text, trial counts, seed, classes — and deliberately NOT [jobs]: the
+   sharded stream makes rows jobs-invariant, so a run may be resumed
+   with a different worker count. *)
+let checkpoint_key (config : config) fpva ~vectors =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "campaign/v1\nlayout=%s\nsuite=%s\ntrials=%d\nseed=%d\ncounts=%s\nclasses=%s\n"
+    (Digest.to_hex (Digest.string (Fpva_grid.Render.plain fpva)))
+    (Digest.to_hex (Digest.string (Fpva_testgen.Suite_io.to_string fpva vectors)))
+    config.trials config.seed
+    (String.concat "," (List.map string_of_int config.fault_counts))
+    (classes_tag config.classes);
+  Buffer.contents b
+
+let rec enc_fault buf = function
+  | Fault.Stuck_at_0 v ->
+    Enc.u8 buf 0;
+    Enc.u32 buf v
+  | Fault.Stuck_at_1 v ->
+    Enc.u8 buf 1;
+    Enc.u32 buf v
+  | Fault.Control_leak (a, b) ->
+    Enc.u8 buf 2;
+    Enc.u32 buf a;
+    Enc.u32 buf b
+  | Fault.Intermittent (f, p) ->
+    Enc.u8 buf 3;
+    enc_fault buf f;
+    Enc.float buf p
+
+let rec dec_fault src =
+  match Dec.u8 src with
+  | 0 -> Fault.Stuck_at_0 (Dec.u32 src)
+  | 1 -> Fault.Stuck_at_1 (Dec.u32 src)
+  | 2 ->
+    let a = Dec.u32 src in
+    let b = Dec.u32 src in
+    Fault.Control_leak (a, b)
+  | 3 ->
+    let f = dec_fault src in
+    Fault.Intermittent (f, Dec.float src)
+  | t -> raise (Dec.Malformed (Printf.sprintf "unknown fault tag %d" t))
+
+let enc_trial buf (short, outcome) =
+  Enc.u8 buf (if short then 1 else 0);
+  match outcome with
+  | Void -> Enc.u8 buf 0
+  | Detected i ->
+    Enc.u8 buf 1;
+    Enc.u32 buf i
+  | Escaped faults ->
+    Enc.u8 buf 2;
+    Enc.u32 buf (List.length faults);
+    List.iter (enc_fault buf) faults
+
+let dec_trial src =
+  let short = Dec.u8 src = 1 in
+  match Dec.u8 src with
+  | 0 -> (short, Void)
+  | 1 -> (short, Detected (Dec.u32 src))
+  | 2 ->
+    let n = Dec.u32 src in
+    (short, Escaped (List.init n (fun _ -> dec_fault src)))
+  | t -> raise (Dec.Malformed (Printf.sprintf "unknown outcome tag %d" t))
+
+(* Trials per journal shard.  Durability granularity: a crash loses at
+   most the in-flight shards (recomputed on resume); smaller shards mean
+   finer resume but more journal records and fsync batches. *)
+let shard_trials = 256
+
+module Shards = Checkpoint.Shards
+
 let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
-    ?(budget = Budget.unlimited) fpva ~vectors =
+    ?(budget = Budget.unlimited) ?checkpoint fpva ~vectors =
   check_jobs "run" jobs stream;
+  check_checkpoint "run" checkpoint stream;
   let t0 = Timer.now () in
   (* Force the layout's compiled form (and valve tables) before any domain
      spawns: workers only ever read the caches.  One compiled handle per
@@ -197,28 +293,56 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
          every [jobs] value.  Workers stop scoring new trials once the
          budget is exhausted ([None] outcomes); affected rows are dropped
          whole by [rows_and_truncated]. *)
-      let outcomes =
-        Pool.run ~jobs ~n
-          ~init:(fun () -> Simulator.make fpva)
-          ~body:(fun h g ->
-            if Budget.exhausted budget then None
-            else
-              Some
-                (run_trial h vectors ~classes:config.classes
-                   ~fault_count:counts.(g / trials)
-                   (Rng.derive config.seed g)))
-          ()
+      let get =
+        match checkpoint with
+        | None ->
+          let outcomes =
+            Pool.run ~jobs ~n
+              ~init:(fun () -> Simulator.make fpva)
+              ~body:(fun h g ->
+                if Budget.exhausted budget then None
+                else
+                  Some
+                    (run_trial h vectors ~classes:config.classes
+                       ~fault_count:counts.(g / trials)
+                       (Rng.derive config.seed g)))
+              ()
+          in
+          Array.get outcomes
+        | Some ck ->
+          (* Same per-trial streams, plus shard bookkeeping: journaled
+             shards are prefilled and skipped (even under an exhausted
+             budget — replaying them costs nothing), completed shards
+             are journaled by their last worker. *)
+          let sh =
+            Shards.make ck ~rows:(Array.length counts) ~trials
+              ~size:shard_trials ~enc:enc_trial ~dec:dec_trial
+          in
+          ignore
+            (Pool.run ~jobs ~n
+               ~init:(fun () -> Simulator.make fpva)
+               ~body:(fun h g ->
+                 if Shards.skip sh g then ()
+                 else if Budget.exhausted budget then ()
+                 else
+                   Shards.store sh g
+                     (run_trial h vectors ~classes:config.classes
+                        ~fault_count:counts.(g / trials)
+                        (Rng.derive config.seed g)))
+               ());
+          Checkpoint.flush ck;
+          Shards.get sh
       in
       let row_complete fc_idx =
         let ok = ref true in
         for i = fc_idx * trials to ((fc_idx + 1) * trials) - 1 do
-          if outcomes.(i) = None then ok := false
+          if get i = None then ok := false
         done;
         !ok
       in
       rows_and_truncated config.fault_counts ~row_complete ~row_of:(fun fc_idx ->
           row_of_outcomes ~fault_count:counts.(fc_idx) ~trials (fun i ->
-              Option.get outcomes.((fc_idx * trials) + i)))
+              Option.get (get ((fc_idx * trials) + i))))
   in
   let wall = Timer.elapsed t0 in
   if Trace.is_enabled () then begin
@@ -336,6 +460,47 @@ type noisy_outcome =
   | N_void
   | N_run of { nd : bool; alarm : bool; slots : int; reads : int }
 
+let noisy_checkpoint_key (config : noise_config) fpva ~vectors =
+  let base = config.base in
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "campaign-noisy/v1\nlayout=%s\nsuite=%s\ntrials=%d\nseed=%d\ncounts=%s\nclasses=%s\nlevels=%s\nrepeats=%d\n"
+    (Digest.to_hex (Digest.string (Fpva_grid.Render.plain fpva)))
+    (Digest.to_hex (Digest.string (Fpva_testgen.Suite_io.to_string fpva vectors)))
+    base.trials base.seed
+    (String.concat "," (List.map string_of_int base.fault_counts))
+    (classes_tag base.classes)
+    (* exact IEEE bits: a level printed with %g could collide *)
+    (String.concat ","
+       (List.map
+          (fun l -> Printf.sprintf "%Lx" (Int64.bits_of_float l))
+          config.noise_levels))
+    config.repeats;
+  Buffer.contents b
+
+let enc_noisy_trial buf (short, outcome) =
+  Enc.u8 buf (if short then 1 else 0);
+  match outcome with
+  | N_void -> Enc.u8 buf 0
+  | N_run { nd; alarm; slots; reads } ->
+    Enc.u8 buf 1;
+    Enc.u8 buf (if nd then 1 else 0);
+    Enc.u8 buf (if alarm then 1 else 0);
+    Enc.u32 buf slots;
+    Enc.u32 buf reads
+
+let dec_noisy_trial src =
+  let short = Dec.u8 src = 1 in
+  match Dec.u8 src with
+  | 0 -> (short, N_void)
+  | 1 ->
+    let nd = Dec.u8 src = 1 in
+    let alarm = Dec.u8 src = 1 in
+    let slots = Dec.u32 src in
+    let reads = Dec.u32 src in
+    (short, N_run { nd; alarm; slots; reads })
+  | t -> raise (Dec.Malformed (Printf.sprintf "unknown noisy tag %d" t))
+
 let run_noisy_trial policy meter h vectors ~classes ~fault_count fault_rng
     meter_rng =
   let fpva = Simulator.handle_fpva h in
@@ -375,8 +540,9 @@ let noise_row_of_outcomes ~noise ~fault_count ~trials outcome_at =
     total_reads = !total_reads; vector_slots = !vector_slots }
 
 let run_noisy ?(config = default_noise_config) ?(jobs = 1)
-    ?(stream = Sharded) ?(budget = Budget.unlimited) fpva ~vectors =
+    ?(stream = Sharded) ?(budget = Budget.unlimited) ?checkpoint fpva ~vectors =
   check_jobs "run_noisy" jobs stream;
+  check_checkpoint "run_noisy" checkpoint stream;
   let t0 = Timer.now () in
   let base = config.base in
   let policy = Retest.policy config.repeats in
@@ -448,21 +614,44 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
          identical injected fault sets; meter noise is keyed by the same
          pair under a salted seed, giving an independent stream that is
          also shared across levels (common random numbers). *)
-      let outcomes =
-        Pool.run ~jobs ~n
-          ~init:(fun () -> (Simulator.make fpva, meters_of ()))
-          ~body:(fun (h, meters) g ->
-            if Budget.exhausted budget then None
-            else
-              let level_idx = g / per_level in
-              let rem = g mod per_level in
-              Some
-                (run_noisy_trial policy meters.(level_idx) h vectors
-                   ~classes:base.classes
-                   ~fault_count:counts.(rem / trials)
-                   (Rng.derive base.seed rem)
-                   (Rng.derive (base.seed lxor meter_salt) rem)))
-          ()
+      let noisy_trial (h, meters) g =
+        let level_idx = g / per_level in
+        let rem = g mod per_level in
+        run_noisy_trial policy meters.(level_idx) h vectors
+          ~classes:base.classes
+          ~fault_count:counts.(rem / trials)
+          (Rng.derive base.seed rem)
+          (Rng.derive (base.seed lxor meter_salt) rem)
+      in
+      let get =
+        match checkpoint with
+        | None ->
+          let outcomes =
+            Pool.run ~jobs ~n
+              ~init:(fun () -> (Simulator.make fpva, meters_of ()))
+              ~body:(fun w g ->
+                if Budget.exhausted budget then None else Some (noisy_trial w g))
+              ()
+          in
+          Array.get outcomes
+        | Some ck ->
+          (* Global index g = (level * counts + fc) * trials + i, i.e.
+             row-major over the run-order row keys — exactly the
+             geometry Shards expects. *)
+          let sh =
+            Shards.make ck ~rows:(List.length row_keys) ~trials
+              ~size:shard_trials ~enc:enc_noisy_trial ~dec:dec_noisy_trial
+          in
+          ignore
+            (Pool.run ~jobs ~n
+               ~init:(fun () -> (Simulator.make fpva, meters_of ()))
+               ~body:(fun w g ->
+                 if Shards.skip sh g then ()
+                 else if Budget.exhausted budget then ()
+                 else Shards.store sh g (noisy_trial w g))
+               ());
+          Checkpoint.flush ck;
+          Shards.get sh
       in
       let base_of row_idx =
         let level_idx = row_idx / Array.length counts in
@@ -473,7 +662,7 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
         let b = base_of row_idx in
         let ok = ref true in
         for i = b to b + trials - 1 do
-          if outcomes.(i) = None then ok := false
+          if get i = None then ok := false
         done;
         !ok
       in
@@ -481,7 +670,7 @@ let run_noisy ?(config = default_noise_config) ?(jobs = 1)
           let noise, fault_count = List.nth row_keys row_idx in
           let b = base_of row_idx in
           noise_row_of_outcomes ~noise ~fault_count ~trials (fun i ->
-              Option.get outcomes.(b + i)))
+              Option.get (get (b + i))))
   in
   let wall = Timer.elapsed t0 in
   if Trace.is_enabled () then begin

@@ -78,6 +78,7 @@ val run :
   ?jobs:int ->
   ?stream:stream ->
   ?budget:Fpva_testgen.Budget.t ->
+  ?checkpoint:Checkpoint.t ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   result
@@ -91,8 +92,28 @@ val run :
     {!result.truncated}.  The surviving rows are always a prefix of — and
     bit-identical to — the rows of an unbudgeted run with the same
     config, so budgeted partial results never disagree with full ones.
-    @raise Invalid_argument if [jobs < 1], or if [stream = Legacy] and
-    [jobs > 1]. *)
+
+    [checkpoint] (sharded stream only) makes the campaign resumable:
+    completed shards of trials are journaled through the given
+    {!Checkpoint} store as they finish, shards already in the store are
+    replayed instead of recomputed (even under an exhausted budget), and
+    the journal is flushed before returning.  Because each trial is a
+    pure function of [(seed, global index)], a resumed run's rows are
+    {e bit-identical} to a cold run's — open the store with
+    {!checkpoint_key} so layout/config/suite drift is refused up front.
+    A checkpoint write failure mid-run disables checkpointing (see
+    {!Checkpoint.failure}) and the campaign completes normally.
+    @raise Invalid_argument if [jobs < 1], if [stream = Legacy] and
+    [jobs > 1], or if [stream = Legacy] with a checkpoint (the
+    sequential RNG cannot skip trials without changing draws). *)
+
+val checkpoint_key : config -> Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list -> string
+(** The identity of a {!run}: canonical layout render digest, suite-text
+    digest, trials, seed, fault counts and classes.  Two runs share a
+    checkpoint file iff their keys are equal.  [jobs] is deliberately
+    excluded — rows are jobs-invariant, so a campaign may be resumed
+    with a different worker count. *)
 
 val effective_trials : row -> int
 (** [trials - void_draws]: the trials that actually injected something. *)
@@ -157,6 +178,7 @@ val run_noisy :
   ?jobs:int ->
   ?stream:stream ->
   ?budget:Fpva_testgen.Budget.t ->
+  ?checkpoint:Checkpoint.t ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   noise_result
@@ -169,7 +191,14 @@ val run_noisy :
     (same [stream]), and equal seeds reproduce rows byte-for-byte for
     every [jobs] value.
     @raise Invalid_argument if [repeats < 1], a level is outside [0,1],
-    [jobs < 1], or [stream = Legacy] with [jobs > 1]. *)
+    [jobs < 1], or [stream = Legacy] with [jobs > 1] (or with a
+    checkpoint).  [checkpoint] behaves exactly as in {!run}; key the
+    store with {!noisy_checkpoint_key}. *)
+
+val noisy_checkpoint_key : noise_config -> Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list -> string
+(** {!checkpoint_key} for noise sweeps: additionally pins the noise
+    levels (by exact IEEE bits) and the retest repeat budget. *)
 
 val noisy_effective_trials : noise_row -> int
 

@@ -89,3 +89,60 @@ let wrap ?monitor:m fault base =
           (Cover.engine_name base);
       find;
     }
+
+(* ---------- injectable I/O faults ---------- *)
+
+module Io = struct
+  module Journal = Fpva_util.Journal
+
+  type fault =
+    | Short_write of int
+    | Eintr_every of int
+    | Enospc_after of int
+    | Fsync_failure
+
+  let fault_name = function
+    | Short_write n -> Printf.sprintf "short-write-%d" n
+    | Eintr_every k -> Printf.sprintf "eintr-every-%d" k
+    | Enospc_after n -> Printf.sprintf "enospc-after-%d" n
+    | Fsync_failure -> "fsync-failure"
+
+  let wrap ?monitor:m faults (io : Journal.io) =
+    let m = match m with Some m -> m | None -> monitor () in
+    let calls = ref 0 in
+    let total = ref 0 in
+    let write b off len =
+      incr calls;
+      m.calls <- m.calls + 1;
+      List.iter
+        (function
+          (* [max 2]: a wrapper failing every single call would spin the
+             journal's retry loop forever — EINTR is by definition a
+             fault that goes away on retry. *)
+          | Eintr_every k when !calls mod max 2 k = 0 ->
+            m.injected <- m.injected + 1;
+            raise (Unix.Unix_error (Unix.EINTR, "write", "chaos"))
+          | Enospc_after cap when !total >= cap ->
+            m.injected <- m.injected + 1;
+            raise (Unix.Unix_error (Unix.ENOSPC, "write", "chaos"))
+          | _ -> ())
+        faults;
+      let capped =
+        List.fold_left
+          (fun l -> function Short_write c when c >= 1 -> min c l | _ -> l)
+          len faults
+      in
+      if capped < len then m.injected <- m.injected + 1;
+      let n = io.Journal.write b off capped in
+      total := !total + n;
+      n
+    in
+    let sync () =
+      if List.mem Fsync_failure faults then begin
+        m.injected <- m.injected + 1;
+        raise (Unix.Unix_error (Unix.EIO, "fsync", "chaos"))
+      end
+      else io.Journal.sync ()
+    in
+    { Journal.write; sync; close = io.Journal.close }
+end

@@ -58,3 +58,38 @@ val flaky_read : flips:int list -> (int -> bool) -> int -> bool
     inverting the result of every attempt whose 0-based index appears in
     [flips].  Lets tests exercise majority-vote recovery on an exact flip
     pattern instead of a probabilistic one. *)
+
+(** {1 Injectable I/O faults}
+
+    The same chaos philosophy pointed at the persistence layer: wrap a
+    {!Fpva_util.Journal.io} in a proxy that misbehaves the way real
+    filesystems do, so the journal's recovery machinery (short-write
+    loops, EINTR retries, typed [ENOSPC] surfacing, checkpoint
+    degradation) is exercised deterministically.  Shared by the journal
+    and checkpoint test suites instead of ad-hoc mocks. *)
+
+module Io : sig
+  type fault =
+    | Short_write of int
+        (** every write call transfers at most [n] bytes — the journal's
+            write-all loop must reassemble records from dribbles *)
+    | Eintr_every of int
+        (** every [k]-th write call (clamped to [k >= 2]: an EINTR that
+            never goes away would spin any correct retry loop) raises
+            [EINTR] before transferring anything *)
+    | Enospc_after of int
+        (** once [n] bytes have been transferred, every further write
+            raises [ENOSPC] — models a volume filling up mid-campaign *)
+    | Fsync_failure  (** every sync raises [EIO] *)
+
+  val fault_name : fault -> string
+
+  val wrap :
+    ?monitor:monitor ->
+    fault list ->
+    Fpva_util.Journal.io ->
+    Fpva_util.Journal.io
+  (** Faults compose: e.g. [[Short_write 3; Enospc_after 100]] dribbles
+      3 bytes at a time until the 100-byte cliff.  [monitor] counts
+      write/sync calls and fault firings, as for {!wrap}. *)
+end

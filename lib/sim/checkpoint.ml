@@ -1,0 +1,276 @@
+module Journal = Fpva_util.Journal
+module Trace = Fpva_util.Trace
+
+let recorded_c = Trace.counter "checkpoint.shards_recorded"
+let skipped_c = Trace.counter "checkpoint.shards_skipped"
+let rejected_c = Trace.counter "checkpoint.shards_rejected"
+let write_failures_c = Trace.counter "checkpoint.write_failures"
+
+type t = {
+  path : string;
+  loaded : (int, string) Hashtbl.t;
+  mutable writer : Journal.writer option;  (* None once disabled/closed *)
+  mutable failure : string option;
+  mutable resumed : int;
+  mutable recorded : int;
+  lock : Mutex.t;
+}
+
+type open_error =
+  | Corrupt of string
+  | Key_mismatch of { expected : string; found : string }
+  | Io_failure of string
+
+let open_error_to_string = function
+  | Corrupt msg -> Printf.sprintf "corrupt checkpoint: %s" msg
+  | Key_mismatch { expected; found } ->
+    Printf.sprintf
+      "checkpoint belongs to a different run (key %s, expected %s) — it \
+       cannot resume this campaign"
+      found expected
+  | Io_failure msg -> Printf.sprintf "checkpoint I/O failure: %s" msg
+
+(* Record tags.  The header pins the key; shard records carry the
+   engine-encoded payload for one shard id. *)
+let tag_header = 0x48 (* 'H' *)
+let tag_shard = 0x53 (* 'S' *)
+
+let encode_header key =
+  let buf = Buffer.create (String.length key + 8) in
+  Journal.Enc.u8 buf tag_header;
+  Journal.Enc.str buf key;
+  Buffer.contents buf
+
+let encode_shard shard payload =
+  let buf = Buffer.create (String.length payload + 12) in
+  Journal.Enc.u8 buf tag_shard;
+  Journal.Enc.u32 buf shard;
+  Journal.Enc.str buf payload;
+  Buffer.contents buf
+
+let key_digest key = Digest.to_hex (Digest.string key)
+
+let open_ ?sync_every ?wrap_io ~path ~resume ~key () =
+  match Journal.create ?sync_every ?wrap_io ~resume path with
+  | Error e -> (
+    match e with
+    | Journal.Corrupt _ -> Error (Corrupt (Journal.error_to_string e))
+    | Journal.Io_failure msg -> Error (Io_failure msg))
+  | Ok (records, writer) ->
+    let t =
+      {
+        path;
+        loaded = Hashtbl.create 64;
+        writer = Some writer;
+        failure = None;
+        resumed = 0;
+        recorded = 0;
+        lock = Mutex.create ();
+      }
+    in
+    let close_writer () = try Journal.close writer with Journal.Error _ -> () in
+    let corrupt msg =
+      close_writer ();
+      Error (Corrupt msg)
+    in
+    let decode_records () =
+      try
+        (match records with
+        | [] ->
+          (* Fresh (or torn-before-the-header) journal: stamp it. *)
+          Journal.append writer (encode_header key)
+        | header :: shards ->
+          let src = Journal.Dec.of_string header in
+          if Journal.Dec.u8 src <> tag_header then
+            raise (Journal.Dec.Malformed "first record is not a header");
+          let found = Journal.Dec.str src in
+          if found <> key then begin
+            close_writer ();
+            raise Exit
+          end;
+          List.iter
+            (fun r ->
+              let src = Journal.Dec.of_string r in
+              if Journal.Dec.u8 src <> tag_shard then
+                raise (Journal.Dec.Malformed "record is not a shard");
+              let shard = Journal.Dec.u32 src in
+              let payload = Journal.Dec.str src in
+              (* Duplicates can only arise from a record re-appended
+                 after an unsynced resume; last one wins, they are
+                 identical by construction (pure shard functions). *)
+              Hashtbl.replace t.loaded shard payload)
+            shards);
+        Ok t
+      with
+      | Exit ->
+        let src = Journal.Dec.of_string (List.hd records) in
+        ignore (Journal.Dec.u8 src);
+        Error (Key_mismatch { expected = key; found = Journal.Dec.str src })
+      | Journal.Dec.Malformed msg -> corrupt msg
+      | Journal.Error e -> (
+        close_writer ();
+        match e with
+        | Journal.Corrupt _ -> Error (Corrupt (Journal.error_to_string e))
+        | Journal.Io_failure msg -> Error (Io_failure msg))
+    in
+    decode_records ()
+
+let disable t reason =
+  t.failure <- Some reason;
+  t.writer <- None;
+  Trace.incr write_failures_c
+
+let consume t shard ~decode =
+  match Hashtbl.find_opt t.loaded shard with
+  | None -> None
+  | Some payload -> (
+    match decode payload with
+    | Some v ->
+      t.resumed <- t.resumed + 1;
+      Trace.incr skipped_c;
+      Some v
+    | None ->
+      (* CRC said the bytes are what was written; if they no longer
+         decode, the encoding changed under an unchanged key.  Recompute
+         rather than trust it. *)
+      Hashtbl.remove t.loaded shard;
+      Trace.incr rejected_c;
+      None)
+
+let with_writer t f =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.writer with
+      | None -> ()
+      | Some w -> (
+        try f w
+        with Journal.Error e -> disable t (Journal.error_to_string e)))
+
+let record t shard payload =
+  with_writer t (fun w ->
+      Journal.append w (encode_shard shard payload);
+      t.recorded <- t.recorded + 1;
+      Trace.incr recorded_c)
+
+let flush t = with_writer t Journal.sync
+
+let resumed_shards t = t.resumed
+let recorded_shards t = t.recorded
+let failure t = t.failure
+let path t = t.path
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.writer with
+      | None -> ()
+      | Some w ->
+        t.writer <- None;
+        (try Journal.close w
+         with Journal.Error e ->
+           t.failure <-
+             (match t.failure with
+             | Some _ as f -> f
+             | None -> Some (Journal.error_to_string e))))
+
+let delete t =
+  close t;
+  try Sys.remove t.path with Sys_error _ -> ()
+
+type store = t
+
+module Shards = struct
+  module Enc = Journal.Enc
+  module Dec = Journal.Dec
+
+  type 'a t = {
+    ck : store;
+    trials : int;
+    size : int;
+    spr : int;  (* shards per row *)
+    outcomes : 'a option array;
+    remaining : int Atomic.t array;
+    done_ : bool array;  (* prefilled from the journal, before workers *)
+    enc : Buffer.t -> 'a -> unit;
+  }
+
+  let range t s =
+    let row = s / t.spr and c = s mod t.spr in
+    let lo = (row * t.trials) + (c * t.size) in
+    let hi = (row * t.trials) + min ((c + 1) * t.size) t.trials in
+    (lo, hi)
+
+  (* The payload frames its own range so a record can never be replayed
+     into a different slice of the run. *)
+  let encode_payload enc ~lo data =
+    let buf = Buffer.create 64 in
+    Enc.u32 buf lo;
+    Enc.u32 buf (Array.length data);
+    Array.iter (enc buf) data;
+    Buffer.contents buf
+
+  let decode_payload dec ~lo ~count payload =
+    match
+      let src = Dec.of_string payload in
+      let plo = Dec.u32 src in
+      let pcount = Dec.u32 src in
+      if plo <> lo || pcount <> count then None
+      else
+        let arr = Array.init count (fun _ -> dec src) in
+        if Dec.at_end src then Some arr else None
+    with
+    | v -> v
+    | exception Dec.Malformed _ -> None
+
+  let make ck ~rows ~trials ~size ~enc ~dec =
+    if size < 1 then invalid_arg "Checkpoint.Shards.make: size must be >= 1";
+    let spr = (trials + size - 1) / size in
+    let nshards = rows * spr in
+    let t =
+      {
+        ck;
+        trials;
+        size;
+        spr;
+        outcomes = Array.make (rows * trials) None;
+        remaining = Array.init nshards (fun _ -> Atomic.make 0);
+        done_ = Array.make nshards false;
+        enc;
+      }
+    in
+    for s = 0 to nshards - 1 do
+      let lo, hi = range t s in
+      Atomic.set t.remaining.(s) (hi - lo);
+      match
+        consume ck s ~decode:(fun p -> decode_payload dec ~lo ~count:(hi - lo) p)
+      with
+      | Some arr ->
+        Array.iteri (fun i v -> t.outcomes.(lo + i) <- Some v) arr;
+        t.done_.(s) <- true
+      | None -> ()
+    done;
+    t
+
+  let shard_of t g =
+    let row = g / t.trials and i = g mod t.trials in
+    (row * t.spr) + (i / t.size)
+
+  let skip t g = t.done_.(shard_of t g)
+
+  let store t g v =
+    t.outcomes.(g) <- Some v;
+    let s = shard_of t g in
+    if Atomic.fetch_and_add t.remaining.(s) (-1) = 1 then begin
+      let lo, hi = range t s in
+      let data =
+        Array.init (hi - lo) (fun i -> Option.get t.outcomes.(lo + i))
+      in
+      record t.ck s (encode_payload t.enc ~lo data)
+    end
+
+  let get t g = t.outcomes.(g)
+end

@@ -1,0 +1,138 @@
+(** Shard-grained checkpoint store for resumable campaigns.
+
+    A checkpoint file is a {!Fpva_util.Journal}: a header record pinning
+    the {e key} — a digest of everything the results depend on (canonical
+    layout render, campaign config, seed, suite text; see
+    {!Campaign.checkpoint_key}) — followed by one record per completed
+    {e shard} (a contiguous range of trial indices, encoded by the
+    engine).  Because the sharded RNG makes every trial a pure function
+    of [(seed, index)], replaying a journaled shard is byte-identical to
+    recomputing it, so a resumed run produces rows bit-identical to a
+    cold one — at any [jobs] value, which is deliberately {e not} part of
+    the key.
+
+    The store degrades instead of failing: a journal write error
+    ([ENOSPC], a full disk, a yanked volume) disables further
+    checkpointing, records the failure for {!failure}, and lets the
+    campaign finish normally — losing durability, never correctness.
+    Likewise a CRC-valid shard record that fails to {e decode} (a
+    version skew the key digest missed) is dropped and recomputed.
+
+    Trace counters: [checkpoint.shards_recorded],
+    [checkpoint.shards_skipped] (served from the journal on resume),
+    [checkpoint.shards_rejected] (undecodable), and
+    [checkpoint.write_failures]. *)
+
+type t
+
+type open_error =
+  | Corrupt of string  (** mid-stream journal corruption (torn tails are fine) *)
+  | Key_mismatch of { expected : string; found : string }
+      (** the file belongs to a different (layout, config, seed, suite) *)
+  | Io_failure of string
+
+val open_error_to_string : open_error -> string
+
+val open_ :
+  ?sync_every:int ->
+  ?wrap_io:(Fpva_util.Journal.io -> Fpva_util.Journal.io) ->
+  path:string ->
+  resume:bool ->
+  key:string ->
+  unit ->
+  (t, open_error) result
+(** Open (or create) the checkpoint at [path] for the run identified by
+    [key].  With [resume = true] an existing journal is recovered — torn
+    tail discarded — and its shard records become available to
+    {!consume}; a missing file is simply fresh.  A recovered header
+    whose key differs from [key] is refused with [Key_mismatch] (the
+    caller decided to resume {e this} run; silently restarting would
+    throw away their intent, silently reusing would corrupt results).
+    With [resume = false] the file is truncated and started fresh.
+    [sync_every]/[wrap_io] pass through to the journal writer. *)
+
+val consume : t -> int -> decode:(string -> 'a option) -> 'a option
+(** [consume t shard ~decode] is the decoded payload of [shard] if the
+    journal holds one, counting it as skipped work; an undecodable
+    payload is dropped (counted rejected) and [None] returned so the
+    engine recomputes the shard.  Call once per shard during resume
+    prefill, before workers start. *)
+
+val record : t -> int -> string -> unit
+(** Append the payload for a freshly completed shard.  Thread-safe (a
+    mutex serialises appends — shard completion is rare next to trial
+    execution).  Never raises: on a journal failure checkpointing is
+    disabled and the failure kept for {!failure}. *)
+
+val flush : t -> unit
+(** Fsync the journal — called by the engine when a run completes so the
+    file is durable before control returns.  Never raises (failures
+    disable the store, as with {!record}). *)
+
+val resumed_shards : t -> int
+(** Shards served from the journal via {!consume} since {!open_}. *)
+
+val recorded_shards : t -> int
+(** Shards appended via {!record} since {!open_} (loaded ones excluded). *)
+
+val failure : t -> string option
+(** The first write failure, if checkpointing was disabled by one. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Close the journal, keeping the file (a completed run's journal
+    doubles as a cache: reopening it resumes instantly).  Idempotent;
+    never raises. *)
+
+val delete : t -> unit
+(** Close and remove the file — for callers that treat the checkpoint as
+    scratch for exactly one logical request (the serve daemon).  Never
+    raises. *)
+
+val key_digest : string -> string
+(** Hex digest of a key — stable filename material for directory-based
+    stores ([<digest>.ckpt] under the serve checkpoint dir). *)
+
+type store = t
+
+(** Shard bookkeeping for an engine running [rows * trials] independent
+    work items, indexed [g = row * trials + i].  Items are grouped into
+    shards of [size] consecutive indices that never straddle a row;
+    workers {!Shards.store} each result, and whichever worker finishes a
+    shard's last item serialises and journals it.  Journaled shards are
+    prefilled at {!Shards.make} (via {!consume}) and reported by
+    {!Shards.skip} so the engine never recomputes them.
+
+    Memory-model note: the plain [store] writes of a shard's items are
+    published to the journaling worker by the seq-cst fetch-and-add on
+    the shard's countdown (message-passing idiom), and to the caller's
+    domain by the pool join. *)
+module Shards : sig
+  type 'a t
+
+  val make :
+    store ->
+    rows:int ->
+    trials:int ->
+    size:int ->
+    enc:(Buffer.t -> 'a -> unit) ->
+    dec:(Fpva_util.Journal.Dec.src -> 'a) ->
+    'a t
+  (** [enc]/[dec] serialise one item; [dec] may raise
+      {!Fpva_util.Journal.Dec.Malformed}.  Each payload additionally
+      records its own [(lo, count)] range, so a record can never be
+      replayed into a different slice of the run (e.g. after a shard-size
+      change) — a mismatch drops the record for recomputation. *)
+
+  val skip : 'a t -> int -> bool
+  (** The shard holding item [g] was replayed from the journal. *)
+
+  val store : 'a t -> int -> 'a -> unit
+  (** Record item [g]'s result; journals the shard when it completes.
+      Call at most once per [g], never for skipped shards. *)
+
+  val get : 'a t -> int -> 'a option
+  (** Item [g]'s result ([None] iff it was neither stored nor replayed —
+      i.e. skipped for budget exhaustion). *)
+end

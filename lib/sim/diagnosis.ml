@@ -20,7 +20,28 @@ let syndrome_of_h h ~vectors ~faults =
 let syndrome_of fpva ~vectors ~faults =
   syndrome_of_h (Simulator.make fpva) ~vectors ~faults
 
-let build ?(jobs = 1) fpva ~vectors ~faults =
+let checkpoint_key fpva ~vectors ~faults =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "diagnosis/v1\nlayout=%s\nsuite=%s\nfaults=%s\n"
+    (Digest.to_hex (Digest.string (Fpva_grid.Render.plain fpva)))
+    (Digest.to_hex
+       (Digest.string (Fpva_testgen.Suite_io.to_string fpva vectors)))
+    (Digest.to_hex
+       (Digest.string (String.concat ";" (List.map Fault.to_string faults))));
+  Buffer.contents b
+
+(* Candidate faults per journal shard. *)
+let shard_candidates = 32
+
+let enc_syndrome buf (s : syndrome) =
+  Fpva_util.Journal.Enc.u32 buf (Array.length s);
+  Array.iter (fun b -> Fpva_util.Journal.Enc.u8 buf (if b then 1 else 0)) s
+
+let dec_syndrome src =
+  let n = Fpva_util.Journal.Dec.u32 src in
+  Array.init n (fun _ -> Fpva_util.Journal.Dec.u8 src = 1)
+
+let build ?(jobs = 1) ?checkpoint fpva ~vectors ~faults =
   let tags =
     if Fpva_util.Trace.is_enabled () then
       [ ("faults", string_of_int (List.length faults));
@@ -36,11 +57,34 @@ let build ?(jobs = 1) fpva ~vectors ~faults =
       ignore (Simulator.make fpva);
       let vecs = Array.of_list vectors in
       let fa = Array.of_list faults in
+      let n = Array.length fa in
       let syndromes =
-        Fpva_util.Pool.run ~jobs ~n:(Array.length fa)
-          ~init:(fun () -> Simulator.make fpva)
-          ~body:(fun h i -> syndrome_of_h h ~vectors ~faults:[ fa.(i) ])
-          ()
+        match checkpoint with
+        | None ->
+          Fpva_util.Pool.run ~jobs ~n
+            ~init:(fun () -> Simulator.make fpva)
+            ~body:(fun h i -> syndrome_of_h h ~vectors ~faults:[ fa.(i) ])
+            ()
+        | Some ck ->
+          (* One row of [n] candidates, sharded exactly like campaign
+             trials: each candidate's syndrome is a pure function of the
+             (layout, suite, fault), so replayed shards are bit-identical
+             to recomputed ones. *)
+          let sh =
+            Checkpoint.Shards.make ck ~rows:1 ~trials:n ~size:shard_candidates
+              ~enc:enc_syndrome ~dec:dec_syndrome
+          in
+          ignore
+            (Fpva_util.Pool.run ~jobs ~n
+               ~init:(fun () -> Simulator.make fpva)
+               ~body:(fun h i ->
+                 if Checkpoint.Shards.skip sh i then ()
+                 else
+                   Checkpoint.Shards.store sh i
+                     (syndrome_of_h h ~vectors ~faults:[ fa.(i) ]))
+               ());
+          Checkpoint.flush ck;
+          Array.init n (fun i -> Option.get (Checkpoint.Shards.get sh i))
       in
       { vectors = vecs; entries = Array.mapi (fun i s -> (fa.(i), s)) syndromes })
 

@@ -23,6 +23,7 @@ val single_faults : Fpva_grid.Fpva.t -> Fault.t list
 
 val build :
   ?jobs:int ->
+  ?checkpoint:Checkpoint.t ->
   Fpva_grid.Fpva.t ->
   vectors:Fpva_testgen.Test_vector.t list ->
   faults:Fault.t list ->
@@ -31,7 +32,21 @@ val build :
     independent, so [jobs] (default 1) shards them across that many domains
     (each with a private simulator handle); the dictionary is identical for
     every [jobs] value.
+
+    [checkpoint] journals completed candidate shards through the given
+    store and replays journaled ones, exactly as in
+    {!Campaign.run} — an interrupted build resumed on the same file
+    yields a bit-identical dictionary.  Key the store with
+    {!checkpoint_key}.
     @raise Invalid_argument if [jobs < 1]. *)
+
+val checkpoint_key :
+  Fpva_grid.Fpva.t ->
+  vectors:Fpva_testgen.Test_vector.t list ->
+  faults:Fault.t list ->
+  string
+(** The identity of a {!build}: layout render digest, suite-text digest
+    and candidate fault list digest. *)
 
 val syndrome_of :
   Fpva_grid.Fpva.t ->

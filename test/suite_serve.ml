@@ -594,6 +594,187 @@ let server_tests =
         checkb "distinct" true (a <> b));
   ]
 
+(* ---------- cache counters over the wire ---------- *)
+
+let stats_field stats name field =
+  match Json.member name stats with
+  | Some cache -> (
+    match Json.get_int field cache with
+    | Some n -> n
+    | None -> Alcotest.fail (name ^ "." ^ field ^ " missing"))
+  | None -> Alcotest.fail (name ^ " missing from stats")
+
+let stats_tests =
+  [
+    case "stats exposes layout/suite/response cache counters and queue \
+          depth" (fun () ->
+        with_server (fun _ addr ->
+            let gen_req =
+              Protocol.Generate
+                { layout = Lazy.force six_text; gen = default_gen }
+            in
+            (* First generate misses the suite cache, the repeat hits. *)
+            ignore (ok_result "generate 1" (call addr gen_req));
+            ignore (ok_result "generate 2" (call addr gen_req));
+            let stats = ok_result "stats" (call addr Protocol.Stats) in
+            checkb "suite miss counted" true
+              (stats_field stats "suite_cache" "misses" >= 1);
+            checkb "suite hit counted" true
+              (stats_field stats "suite_cache" "hits" >= 1);
+            checkb "layout traffic counted" true
+              (stats_field stats "layout_cache" "misses"
+               + stats_field stats "layout_cache" "hits"
+              >= 2);
+            ignore (stats_field stats "response_cache" "hits");
+            checkb "queue depth reported" true
+              (Json.get_int "queue_depth" stats <> None)));
+  ]
+
+(* ---------- checkpointed campaign requests ---------- *)
+
+module Checkpoint = Fpva_sim.Checkpoint
+module Trace = Fpva_util.Trace
+
+let checkpoint_serve_tests =
+  [
+    case "a campaign request resumes from the checkpoint dir (and cleans \
+          up after itself)" (fun () ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "fpva-serve-ckpt-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+              (try Sys.readdir dir with _ -> [||]);
+            try Unix.rmdir dir with _ -> ())
+          (fun () ->
+            let t = Lazy.force six in
+            let result, _ = Lazy.force cold_suite in
+            let vectors = result.Pipeline.vectors in
+            let campaign_config =
+              { Campaign.trials = 600; seed = 9;
+                classes = [ `Stuck_at_0; `Stuck_at_1 ];
+                fault_counts = [ 1; 2 ] }
+            in
+            let cold =
+              Fpva_serve.Protocol.rendered_rows
+                (Campaign.run ~config:campaign_config t ~vectors)
+            in
+            (* Plant a *partial* checkpoint where the daemon will look —
+               exactly what a kill -9 mid-request leaves behind. *)
+            let key = Campaign.checkpoint_key campaign_config t ~vectors in
+            let path =
+              Filename.concat dir (Checkpoint.key_digest key ^ ".ckpt")
+            in
+            (match Checkpoint.open_ ~path ~resume:false ~key () with
+            | Error e -> Alcotest.fail (Checkpoint.open_error_to_string e)
+            | Ok ck ->
+              ignore (Campaign.run ~config:campaign_config ~checkpoint:ck t ~vectors);
+              Checkpoint.close ck);
+            let size = (Unix.stat path).Unix.st_size in
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Unix.ftruncate fd (size * 2 / 3);
+            Unix.close fd;
+            Trace.enable ();
+            Fun.protect ~finally:Trace.disable (fun () ->
+                let skipped () =
+                  Option.value ~default:0
+                    (List.assoc_opt "checkpoint.shards_skipped"
+                       (Trace.counters ()))
+                in
+                let before = skipped () in
+                with_server
+                  ~tweak:(fun c -> { c with Server.checkpoint_dir = Some dir })
+                  (fun _ addr ->
+                    let req =
+                      Protocol.Campaign
+                        { layout = Lazy.force six_text;
+                          gen = default_gen;
+                          campaign =
+                            { Protocol.trials = 600; seed = 9; max_faults = 2;
+                              classes = [ `Stuck_at_0; `Stuck_at_1 ];
+                              jobs = 2 } }
+                    in
+                    let r = ok_result "campaign" (call addr req) in
+                    (match Json.get_string "rendered" r with
+                    | Some rendered ->
+                      check Alcotest.string "rows identical to cold" cold
+                        rendered
+                    | None -> Alcotest.fail "no rendered rows");
+                    checkb "resumed the planted shards (vacuity)" true
+                      (skipped () > before);
+                    checkb "journal deleted once the request completed"
+                      false (Sys.file_exists path)))));
+  ]
+
+(* ---------- bounded client retries ---------- *)
+
+let retry_cap_tests =
+  [
+    case "retries cap: exhaustion reports the last failure" (fun () ->
+        let addr = Protocol.Unix_sock (fresh_sock_path ()) in
+        let cfg =
+          { (Client.default_config addr) with
+            Client.retries = 2;
+            base_backoff = 0.001;
+            max_backoff = 0.002 }
+        in
+        match
+          Client.call cfg
+            { Protocol.id = None; deadline_ms = None;
+              idempotency_key = None; request = Protocol.Ping }
+        with
+        | Ok _ -> Alcotest.fail "nobody was listening"
+        | Error msg ->
+          checkb "counts its attempts" true
+            (let has needle =
+               let n = String.length needle and l = String.length msg in
+               let rec go i =
+                 i + n <= l && (String.sub msg i n = needle || go (i + 1))
+               in
+               go 0
+             in
+             has "3 attempts"));
+    case "retry budget bounds wall clock against a never-ready socket"
+      (fun () ->
+        (* Bound and listening but never accepting: connects land in the
+           backlog and the request then hangs — only the budget's clamp on
+           the read timeout can save the client. *)
+        let path = fresh_sock_path () in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 8;
+        Fun.protect
+          ~finally:(fun () ->
+            close_raw fd;
+            try Unix.unlink path with _ -> ())
+          (fun () ->
+            let cfg =
+              { (Client.default_config (Protocol.Unix_sock path)) with
+                Client.retries = 50;
+                retry_budget = Some 0.4;
+                read_timeout = 120.0;
+                base_backoff = 0.01;
+                max_backoff = 0.05 }
+            in
+            let t0 = Unix.gettimeofday () in
+            match
+              Client.call cfg
+                { Protocol.id = None; deadline_ms = None;
+                  idempotency_key = None; request = Protocol.Ping }
+            with
+            | Ok _ -> Alcotest.fail "server never answered, yet Ok"
+            | Error _ ->
+              let elapsed = Unix.gettimeofday () -. t0 in
+              checkb
+                (Printf.sprintf "gave up within the budget (%.2fs)" elapsed)
+                true (elapsed < 5.0)));
+  ]
+
 (* ---------- CLI exit codes ---------- *)
 
 let cli = Filename.concat ".." (Filename.concat "bin" "fpva_cli.exe")
@@ -618,7 +799,14 @@ let exit_code_tests =
         checki "client with nobody listening" 1
           (run_cli
              "client ping --socket /nonexistent/fpva.sock --retries 0"));
+    case "exit 1 when --max-attempts/--retry-budget-ms are exhausted"
+      (fun () ->
+        checki "capped client against nobody" 1
+          (run_cli
+             "client ping --socket /nonexistent/fpva.sock --max-attempts 2 \
+              --retry-budget-ms 200"));
   ]
 
 let tests =
-  json_tests @ protocol_tests @ cache_tests @ server_tests @ exit_code_tests
+  json_tests @ protocol_tests @ cache_tests @ stats_tests @ server_tests
+  @ checkpoint_serve_tests @ retry_cap_tests @ exit_code_tests

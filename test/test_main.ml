@@ -25,6 +25,8 @@ let () =
       ("extensions", Suite_extensions.tests);
       ("io-compact", Suite_io_compact.tests);
       ("robustness", Suite_robustness.tests);
+      ("journal", Suite_journal.tests);
+      ("checkpoint", Suite_checkpoint.tests);
       ("noise", Suite_noise.tests);
       ("parallel", Suite_parallel.tests);
       ("trace", Suite_trace.tests);
