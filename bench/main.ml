@@ -439,6 +439,11 @@ let legacy_campaign_run config fpva ~vectors =
     config.Fpva_sim.Campaign.fault_counts;
   (!detected, Fpva_util.Timer.now () -. t0)
 
+(* Every field of BENCH_campaign.json is computed by this function, this
+   run — nothing is copied forward from a previous artifact.  After
+   writing, the file is read back, parsed, and hard-checked for missing
+   or vacuous fields, so a stale or truncated artifact fails the bench
+   instead of silently passing CI. *)
 let campaign_bench ~trials () =
   heading
     (Printf.sprintf
@@ -498,6 +503,51 @@ let campaign_bench ~trials () =
   let tps_of j =
     List.assoc j (List.map (fun (j, _, tps) -> (j, tps)) sweep)
   in
+  (* Bit-parallel kernel vs its scalar reference, single-threaded.  A
+     dedicated pair of runs with a floor on the trial count: at the tiny
+     CI trial counts a few-hundred-trial scalar run finishes in fractions of a
+     millisecond and the ratio would be timer noise. *)
+  let kernel_trials = max trials 1000 in
+  let kernel_config =
+    { config with Fpva_sim.Campaign.trials = kernel_trials }
+  in
+  let kernel_total =
+    kernel_trials * List.length config.Fpva_sim.Campaign.fault_counts
+  in
+  let kernel_run kernel =
+    Fpva_sim.Campaign.run ~config:kernel_config ~kernel ~jobs:1 fpva ~vectors
+  in
+  (* The two kernels are timed back to back inside each round and the
+     speedup is the best per-round ratio: a load spike on a shared
+     runner then slows both sides of a ratio instead of whichever
+     kernel happened to be running, which is what made a
+     separately-timed comparison flake. *)
+  let scalar_run = ref None and batched_run = ref None in
+  let scalar_best = ref infinity and batched_best = ref infinity in
+  let speedup_best = ref 0.0 in
+  for _ = 1 to 5 do
+    let s = kernel_run Fpva_sim.Campaign.Scalar in
+    let b = kernel_run Fpva_sim.Campaign.Batched in
+    scalar_best := Float.min !scalar_best s.Fpva_sim.Campaign.wall_seconds;
+    batched_best := Float.min !batched_best b.Fpva_sim.Campaign.wall_seconds;
+    speedup_best :=
+      Float.max !speedup_best
+        (s.Fpva_sim.Campaign.wall_seconds
+        /. Float.max b.Fpva_sim.Campaign.wall_seconds 1e-9);
+    scalar_run := Some s;
+    batched_run := Some b
+  done;
+  let scalar_run = Option.get !scalar_run in
+  let batched_run = Option.get !batched_run in
+  let scalar_tps = rate kernel_total !scalar_best in
+  let batched_tps = rate kernel_total !batched_best in
+  let batched_speedup = !speedup_best in
+  let batched_rows_identical =
+    List.length batched_run.Fpva_sim.Campaign.rows
+    = List.length scalar_run.Fpva_sim.Campaign.rows
+    && List.for_all2 row_eq batched_run.Fpva_sim.Campaign.rows
+         scalar_run.Fpva_sim.Campaign.rows
+  in
   (* Compiled path, noisy meters with adaptive retesting. *)
   let noise_config =
     { Fpva_sim.Campaign.base = config;
@@ -525,6 +575,24 @@ let campaign_bench ~trials () =
   if not agreement then
     Printf.printf "WARNING: compiled path detected %d, legacy detected %d\n"
       ideal_detected legacy_detected;
+  (* Bit-parallel kernel vs scalar reference. *)
+  Printf.printf
+    "scalar kernel    : %d trials at %.0f trials/s (best of 5, jobs=1)\n"
+    kernel_total scalar_tps;
+  Printf.printf
+    "batched kernel   : %d trials at %.0f trials/s (best of 5, jobs=1)\n"
+    kernel_total batched_tps;
+  Printf.printf
+    "batched speedup vs scalar: %.1fx (best paired round, gate: >= 4)\n"
+    batched_speedup;
+  let batched_gate = batched_speedup >= 4.0 in
+  if not batched_gate then
+    Printf.printf
+      "ERROR: the bit-parallel kernel is less than 4x the scalar kernel\n";
+  Printf.printf "batched rows identical to scalar rows: %b\n"
+    batched_rows_identical;
+  if not batched_rows_identical then
+    Printf.printf "ERROR: the kernels disagree on campaign rows\n";
   (* Parallel scaling of the sharded stream. *)
   List.iter
     (fun (jobs, _, tps) ->
@@ -546,9 +614,28 @@ let campaign_bench ~trials () =
       "WARNING: jobs=2 slower than jobs=1 (%.0f vs %.0f trials/s) — expected \
        on a single-core runner, a regression on multi-core hardware\n"
       (tps_of 2) j1_tps;
+  let parallel_speedup = tps_of 4 /. Float.max j1_tps 1e-9 in
+  (* The jobs=4 gate only means something when the hardware has 4 cores to
+     give: enforce on multi-core, warn on constrained runners. *)
+  let multicore = Domain.recommended_domain_count () >= 4 in
+  let parallel_gate = (not multicore) || parallel_speedup >= 2.0 in
+  Printf.printf
+    "parallel speedup jobs=4 vs jobs=1: %.2fx (gate: >= 2.0 on multi-core; \
+     %s)\n"
+    parallel_speedup
+    (if multicore then "enforced" else "advisory on this runner");
+  if not parallel_gate then
+    Printf.printf
+      "ERROR: jobs=4 is less than 2x jobs=1 on a multi-core runner\n"
+  else if (not multicore) && parallel_speedup < 2.0 then
+    Printf.printf
+      "WARNING: jobs=4 speedup %.2fx below 2.0 — runner reports < 4 cores, \
+       not treating as a regression\n"
+      parallel_speedup;
   (* Traced twin: the same sharded run with tracing on must reproduce the
      jobs=1 rows bit-for-bit (tracing reads only clocks and counters, never
-     an RNG stream). *)
+     an RNG stream), and per-batch aggregation must keep its overhead
+     small. *)
   let module Trace = Fpva_util.Trace in
   Trace.reset ();
   Trace.enable ();
@@ -562,6 +649,14 @@ let campaign_bench ~trials () =
     traced_rows_identical;
   if not traced_rows_identical then
     Printf.printf "ERROR: tracing changed the campaign rows\n";
+  let untraced_j2_wall = float_of_int total_trials /. Float.max (tps_of 2) 1e-9 in
+  let trace_overhead_pct =
+    100.0
+    *. ((traced.Fpva_sim.Campaign.wall_seconds /. Float.max untraced_j2_wall 1e-9)
+       -. 1.0)
+  in
+  Printf.printf "traced jobs=2 overhead vs untraced: %.1f%%\n"
+    trace_overhead_pct;
   let metrics_json =
     let entries =
       List.filter_map
@@ -589,27 +684,94 @@ let campaign_bench ~trials () =
     \  \"legacy_trials_per_sec\": %.1f,\n\
     \  \"speedup_ideal_vs_legacy\": %.2f,\n\
     \  \"detection_counts_agree\": %b,\n\
+    \  \"kernel_trials_per_fault_count\": %d,\n\
+    \  \"scalar_trials_per_sec\": %.1f,\n\
+    \  \"batched_trials_per_sec\": %.1f,\n\
+    \  \"batched_speedup_vs_scalar\": %.2f,\n\
+    \  \"batched_rows_identical\": %b,\n\
     \  \"recommended_domains\": %d,\n\
     \  \"sharded_j1_trials_per_sec\": %.1f,\n\
     \  \"sharded_j2_trials_per_sec\": %.1f,\n\
     \  \"sharded_j4_trials_per_sec\": %.1f,\n\
     \  \"parallel_speedup_j4_vs_j1\": %.2f,\n\
+    \  \"parallel_gate_enforced\": %b,\n\
     \  \"scaling_efficiency_j4\": %.2f,\n\
     \  \"sharded_rows_identical_across_jobs\": %b,\n\
     \  \"jobs2_not_slower\": %b,\n\
     \  \"traced_rows_identical\": %b,\n\
+    \  \"trace_overhead_pct\": %.1f,\n\
     \  \"metrics\": {%s}\n\
      }\n"
     suite.Pipeline.total trials total_trials ideal_tps noisy_tps legacy_tps
-    speedup agreement
+    speedup agreement kernel_trials scalar_tps batched_tps batched_speedup
+    batched_rows_identical
     (Domain.recommended_domain_count ())
-    j1_tps (tps_of 2) (tps_of 4)
-    (tps_of 4 /. Float.max j1_tps 1e-9)
+    j1_tps (tps_of 2) (tps_of 4) parallel_speedup multicore
     (tps_of 4 /. (4.0 *. Float.max j1_tps 1e-9))
-    rows_identical jobs2_not_slower traced_rows_identical metrics_json;
+    rows_identical jobs2_not_slower traced_rows_identical trace_overhead_pct
+    metrics_json;
   close_out oc;
   Printf.printf "wrote BENCH_campaign.json\n";
+  (* Artifact self-check: read the file back and refuse missing or
+     vacuous fields.  This is what makes the bench the single writer of
+     every number it reports — a stale or hand-edited artifact cannot
+     pass. *)
+  let artifact_ok =
+    let module Json = Fpva_serve.Json in
+    let contents =
+      let ic = open_in_bin "BENCH_campaign.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | Error msg ->
+      Printf.printf "ERROR: BENCH_campaign.json does not parse: %s\n" msg;
+      false
+    | Ok json ->
+      let problems = ref [] in
+      let need_pos_float f =
+        match Json.get_float f json with
+        | Some v when v > 0.0 -> ()
+        | Some _ -> problems := (f ^ " is vacuous") :: !problems
+        | None -> problems := (f ^ " missing") :: !problems
+      in
+      let need_pos_int f =
+        match Json.get_int f json with
+        | Some v when v > 0 -> ()
+        | Some _ -> problems := (f ^ " is vacuous") :: !problems
+        | None -> problems := (f ^ " missing") :: !problems
+      in
+      let need_bool f =
+        if Json.get_bool f json = None then
+          problems := (f ^ " missing") :: !problems
+      in
+      List.iter need_pos_int
+        [ "vectors"; "trials_per_fault_count"; "total_trials";
+          "kernel_trials_per_fault_count"; "recommended_domains" ];
+      List.iter need_pos_float
+        [ "ideal_trials_per_sec"; "noisy_trials_per_sec";
+          "legacy_trials_per_sec"; "speedup_ideal_vs_legacy";
+          "scalar_trials_per_sec"; "batched_trials_per_sec";
+          "batched_speedup_vs_scalar"; "sharded_j1_trials_per_sec";
+          "sharded_j2_trials_per_sec"; "sharded_j4_trials_per_sec";
+          "parallel_speedup_j4_vs_j1"; "scaling_efficiency_j4" ];
+      List.iter need_bool
+        [ "detection_counts_agree"; "batched_rows_identical";
+          "parallel_gate_enforced"; "sharded_rows_identical_across_jobs";
+          "jobs2_not_slower"; "traced_rows_identical" ];
+      if Json.member "trace_overhead_pct" json = None then
+        problems := "trace_overhead_pct missing" :: !problems;
+      if Json.member "metrics" json = None then
+        problems := "metrics missing" :: !problems;
+      List.iter
+        (fun p -> Printf.printf "ERROR: BENCH_campaign.json: %s\n" p)
+        !problems;
+      !problems = []
+  in
+  if artifact_ok then Printf.printf "BENCH_campaign.json self-check passed\n";
   agreement && rows_identical && traced_rows_identical
+  && batched_rows_identical && batched_gate && parallel_gate && artifact_ok
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: journaled vs plain campaign throughput         *)
@@ -961,7 +1123,6 @@ let micro () =
     (List.sort compare !rows);
   Table.print table
 
-(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -102,3 +102,44 @@ val default_scratch : t -> scratch
     by the polymorphic {!Graph} wrappers.  Fine for the common
     sequential case; callers running traversals from within a traversal
     callback must {!create_scratch} their own. *)
+
+(** {2 Bit-parallel batch traversal}
+
+    One sweep over the CSR arcs can simulate up to {!batch_width}
+    valve-state assignments at once: lane [l] (bit [l]) of every mask
+    word belongs to trial [l].  [open_mask.(v)] says which lanes see
+    valve [v] open; pressure propagates as the [lor] of the arc-masked
+    lane sets, which per lane is exactly the scalar reachability the
+    plain BFS computes.  [Fpva_sim.Simulator] packs fault-injection
+    trials into the lanes; the differential qcheck property in
+    [test/suite_compiled.ml] pins per-lane equivalence with
+    {!Graph.pressurized_into}. *)
+
+val batch_width : int
+(** Lanes per batch: 63, every bit of a native [int]. *)
+
+type batch_scratch = {
+  bqueue : int array;  (** primary ring: first-visit frontier *)
+  bregrow : int array;
+      (** secondary ring: regrown nodes, drained when [bqueue] empties so
+          late (detoured) lane fronts merge into one combined sweep *)
+  bmask : int array;  (** per-node lane mask, zero-filled at sweep start *)
+  binq : int array;  (** in-worklist flags (a node queues at most once) *)
+  bedges : int array;
+      (** [adj_edge] with non-valve arcs rewritten to the sentinel edge id
+          [num_valves], so the hot loop's open-mask lookup is branch-free *)
+}
+
+val create_batch_scratch : t -> batch_scratch
+
+val pressurized_batch_into :
+  t -> batch_scratch -> active:int -> open_mask:int array -> into:int array ->
+  unit
+(** [pressurized_batch_into t s ~active ~open_mask ~into] writes, for
+    every port [i], the set of [active] lanes whose trial pressurises
+    that port ([into] must have [num_ports] slots).  [open_mask] needs
+    [num_valves + 1] slots: one per valve, plus a trailing scratch slot
+    the sweep overwrites with [-1] (the always-open sentinel for
+    non-valve arcs).  Lanes outside [active] come back 0.
+    Allocation-free; the scratch must not be shared across concurrent
+    sweeps. *)

@@ -5,9 +5,11 @@ module Trace = Fpva_util.Trace
 module Budget = Fpva_testgen.Budget
 
 let trials_c = Trace.counter "campaign.trials"
+let batched_trials_c = Trace.counter "campaign.batched_trials"
 let noisy_trials_c = Trace.counter "campaign.noisy_trials"
 let tps_g = Trace.gauge "campaign.trials_per_sec"
 let noisy_tps_g = Trace.gauge "campaign.noisy_trials_per_sec"
+let batch_occ_g = Trace.gauge "campaign.batch_occupancy"
 
 type config = {
   trials : int;
@@ -21,6 +23,8 @@ let default_config =
     classes = [ `Stuck_at_0; `Stuck_at_1 ] }
 
 type stream = Sharded | Legacy
+
+type kernel = Batched | Scalar
 
 type row = {
   fault_count : int;
@@ -113,6 +117,49 @@ let run_trial h vectors ~classes ~fault_count rng =
     match first_detect_index h vectors ~faults with
     | Some i -> (short, Detected i)
     | None -> (short, Escaped faults)
+
+let rec lowest_lane_from i m =
+  if m land 1 = 1 then i else lowest_lane_from (i + 1) (m lsr 1)
+
+(* One bit-parallel batch: trial [glo + i] rides lane [i].  Lane loading
+   draws from the same per-trial stream as the scalar path
+   ([Rng.derive seed (glo + i)]), and the vector scan records the same
+   1-based first-detect index, so [outs.(i)] is bit-identical to
+   [run_trial] on trial [glo + i] — the whole-suite escape scan just
+   costs one CSR sweep per vector for all surviving lanes instead of one
+   per (trial, vector). *)
+let run_batch bh outs vectors ~classes ~seed ~fault_count ~glo ~width =
+  Simulator.batch_reset bh;
+  let fpva = Simulator.batch_fpva bh in
+  let lanes = ref 0 in
+  for i = 0 to width - 1 do
+    let rng = Rng.derive seed (glo + i) in
+    let faults = draw_faults rng fpva ~classes ~count:fault_count in
+    let short = List.length faults < fault_count in
+    if faults = [] then outs.(i) <- (short, Void)
+    else begin
+      (* Escaped until a vector proves otherwise. *)
+      outs.(i) <- (short, Escaped faults);
+      Simulator.batch_set_lane bh i ~faults;
+      lanes := !lanes lor (1 lsl i)
+    end
+  done;
+  let alive = ref !lanes in
+  let idx = ref 0 in
+  List.iter
+    (fun v ->
+      if !alive <> 0 then begin
+        incr idx;
+        let diff = Simulator.batch_detects bh ~alive:!alive v in
+        let d = ref diff in
+        while !d <> 0 do
+          let l = lowest_lane_from 0 !d in
+          d := !d land (!d - 1);
+          outs.(l) <- (fst outs.(l), Detected !idx)
+        done;
+        alive := !alive land lnot diff
+      end)
+    vectors
 
 (* Fold one row's trial outcomes, in trial order. *)
 let row_of_outcomes ~fault_count ~trials outcome_at =
@@ -236,13 +283,18 @@ let dec_trial src =
 
 (* Trials per journal shard.  Durability granularity: a crash loses at
    most the in-flight shards (recomputed on resume); smaller shards mean
-   finer resume but more journal records and fsync batches. *)
-let shard_trials = 256
+   finer resume but more journal records and fsync batches.  Must be a
+   multiple of [Simulator.batch_width] so a bit-parallel batch never
+   straddles a shard boundary (skip/store decide whole batches).  Old
+   journals written at the previous size (256) self-reject: each payload
+   frames its own (lo, count) range, so a mismatched record is dropped
+   and recomputed rather than replayed into the wrong slice. *)
+let shard_trials = 4 * Simulator.batch_width (* 252 *)
 
 module Shards = Checkpoint.Shards
 
 let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
-    ?(budget = Budget.unlimited) ?checkpoint fpva ~vectors =
+    ?(kernel = Batched) ?(budget = Budget.unlimited) ?checkpoint fpva ~vectors =
   check_jobs "run" jobs stream;
   check_checkpoint "run" checkpoint stream;
   let t0 = Timer.now () in
@@ -294,44 +346,118 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
          budget is exhausted ([None] outcomes); affected rows are dropped
          whole by [rows_and_truncated]. *)
       let get =
-        match checkpoint with
-        | None ->
-          let outcomes =
-            Pool.run ~jobs ~n
-              ~init:(fun () -> Simulator.make fpva)
-              ~body:(fun h g ->
-                if Budget.exhausted budget then None
-                else
-                  Some
-                    (run_trial h vectors ~classes:config.classes
-                       ~fault_count:counts.(g / trials)
-                       (Rng.derive config.seed g)))
-              ()
+        match kernel with
+        | Scalar -> (
+          match checkpoint with
+          | None ->
+            let outcomes =
+              Pool.run ~jobs ~n
+                ~init:(fun () -> Simulator.make fpva)
+                ~body:(fun h g ->
+                  if Budget.exhausted budget then None
+                  else
+                    Some
+                      (run_trial h vectors ~classes:config.classes
+                         ~fault_count:counts.(g / trials)
+                         (Rng.derive config.seed g)))
+                ()
+            in
+            Array.get outcomes
+          | Some ck ->
+            (* Same per-trial streams, plus shard bookkeeping: journaled
+               shards are prefilled and skipped (even under an exhausted
+               budget — replaying them costs nothing), completed shards
+               are journaled by their last worker. *)
+            let sh =
+              Shards.make ck ~rows:(Array.length counts) ~trials
+                ~size:shard_trials ~enc:enc_trial ~dec:dec_trial
+            in
+            ignore
+              (Pool.run ~jobs ~n
+                 ~init:(fun () -> Simulator.make fpva)
+                 ~body:(fun h g ->
+                   if Shards.skip sh g then ()
+                   else if Budget.exhausted budget then ()
+                   else
+                     Shards.store sh g
+                       (run_trial h vectors ~classes:config.classes
+                          ~fault_count:counts.(g / trials)
+                          (Rng.derive config.seed g)))
+                 ());
+            Checkpoint.flush ck;
+            Shards.get sh)
+        | Batched ->
+          (* The batch, not the trial, is the unit of both simulation and
+             scheduling: one pool item packs up to [batch_width]
+             consecutive trials of one row into the bits of an [int] and
+             scores them in a single masked CSR sweep per vector.  Each
+             trial still draws from [Rng.derive seed g], so the rows are
+             bit-identical to the scalar kernel (and jobs-invariant);
+             batches never straddle a row, and [shard_trials] is a
+             multiple of the width so they never straddle a shard.  The
+             budget is checked once per batch — surviving rows remain a
+             prefix because rows are dropped whole either way. *)
+          let bw = Simulator.batch_width in
+          let nb = (trials + bw - 1) / bw in
+          let n_batches = Array.length counts * nb in
+          let batch_geom bi =
+            let row = bi / nb and k = bi mod nb in
+            let lo_in_row = k * bw in
+            ( (row * trials) + lo_in_row,
+              min bw (trials - lo_in_row),
+              counts.(row) )
           in
-          Array.get outcomes
-        | Some ck ->
-          (* Same per-trial streams, plus shard bookkeeping: journaled
-             shards are prefilled and skipped (even under an exhausted
-             budget — replaying them costs nothing), completed shards
-             are journaled by their last worker. *)
-          let sh =
-            Shards.make ck ~rows:(Array.length counts) ~trials
-              ~size:shard_trials ~enc:enc_trial ~dec:dec_trial
+          let init () =
+            (Simulator.make_batch fpva, Array.make bw (false, Void))
           in
-          ignore
-            (Pool.run ~jobs ~n
-               ~init:(fun () -> Simulator.make fpva)
-               ~body:(fun h g ->
-                 if Shards.skip sh g then ()
-                 else if Budget.exhausted budget then ()
-                 else
-                   Shards.store sh g
-                     (run_trial h vectors ~classes:config.classes
-                        ~fault_count:counts.(g / trials)
-                        (Rng.derive config.seed g)))
-               ());
-          Checkpoint.flush ck;
-          Shards.get sh
+          (match checkpoint with
+          | None ->
+            let outcomes = Array.make n (false, Void) in
+            (* Workers write disjoint [glo, glo+width) slices; the pool
+               join publishes them to the caller. *)
+            let scored =
+              Pool.run ~jobs ~n:n_batches ~init
+                ~body:(fun (bh, outs) bi ->
+                  if Budget.exhausted budget then false
+                  else begin
+                    let glo, width, fault_count = batch_geom bi in
+                    run_batch bh outs vectors ~classes:config.classes
+                      ~seed:config.seed ~fault_count ~glo ~width;
+                    Array.blit outs 0 outcomes glo width;
+                    Trace.add batched_trials_c width;
+                    true
+                  end)
+                ()
+            in
+            fun g ->
+              let row = g / trials and i = g mod trials in
+              if scored.((row * nb) + (i / bw)) then Some outcomes.(g)
+              else None
+          | Some ck ->
+            (* [~align:bw] makes Shards reject any size that could let a
+               batch straddle a shard, so skip-on-first-index decides the
+               whole batch. *)
+            let sh =
+              Shards.make ~align:bw ck ~rows:(Array.length counts) ~trials
+                ~size:shard_trials ~enc:enc_trial ~dec:dec_trial
+            in
+            ignore
+              (Pool.run ~jobs ~n:n_batches ~init
+                 ~body:(fun (bh, outs) bi ->
+                   let glo, width, fault_count = batch_geom bi in
+                   if Shards.skip sh glo then ()
+                   else if Budget.exhausted budget then ()
+                   else begin
+                     run_batch bh outs vectors ~classes:config.classes
+                       ~seed:config.seed ~fault_count ~glo ~width;
+                     for i = 0 to width - 1 do
+                       Shards.store sh (glo + i) outs.(i)
+                     done;
+                     Trace.add batched_trials_c width
+                   end)
+                 ());
+            Checkpoint.flush ck;
+            Shards.get sh)
       in
       let row_complete fc_idx =
         let ok = ref true in
@@ -349,11 +475,23 @@ let run ?(config = default_config) ?(jobs = 1) ?(stream = Sharded)
     let total = config.trials * List.length config.fault_counts in
     Trace.add trials_c total;
     if wall > 0.0 then Trace.set_gauge tps_g (float_of_int total /. wall);
+    (if stream = Sharded && kernel = Batched then
+       (* Mean lane occupancy: 1.0 when every batch is full-width, lower
+          when the trial count leaves a ragged final batch per row. *)
+       let bw = Simulator.batch_width in
+       let nb = (config.trials + bw - 1) / bw in
+       let lanes = nb * bw * List.length config.fault_counts in
+       if lanes > 0 then
+         Trace.set_gauge batch_occ_g (float_of_int total /. float_of_int lanes));
     Trace.emit_span "campaign.run" ~dur:wall
       ~tags:
         [ ("trials", string_of_int total);
           ("jobs", string_of_int jobs);
-          ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy") ]
+          ("stream", match stream with Sharded -> "sharded" | Legacy -> "legacy");
+          ( "kernel",
+            match (stream, kernel) with
+            | Legacy, _ | _, Scalar -> "scalar"
+            | Sharded, Batched -> "batched" ) ]
   end;
   { rows; truncated; wall_seconds = wall }
 

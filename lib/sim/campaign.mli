@@ -42,6 +42,21 @@ type stream =
       (** the pre-sharding draw order (one sequential RNG across all
           trials); only valid with [jobs = 1] *)
 
+type kernel =
+  | Batched
+      (** default: bit-parallel fault simulation — up to
+          {!Simulator.batch_width} consecutive trials of a row are packed
+          into the bits of one [int] and scored with a single masked CSR
+          sweep per vector.  Rows are bit-identical to {!Scalar} (each
+          lane still draws from [Rng.derive seed g]); only the wall clock
+          changes.  Applies to the {!Sharded} stream; the {!Legacy}
+          stream is inherently scalar. *)
+  | Scalar
+      (** one trial per simulation — the reference kernel the batched one
+          is differentially tested against, and the only kernel for
+          {!run_noisy} (meter noise is per-read, so lanes would
+          diverge) *)
+
 type row = {
   fault_count : int;  (** faults {e requested} per trial *)
   trials : int;
@@ -77,6 +92,7 @@ val run :
   ?config:config ->
   ?jobs:int ->
   ?stream:stream ->
+  ?kernel:kernel ->
   ?budget:Fpva_testgen.Budget.t ->
   ?checkpoint:Checkpoint.t ->
   Fpva_grid.Fpva.t ->
@@ -84,6 +100,13 @@ val run :
   result
 (** [jobs] (default 1) is the number of domains trials are sharded across;
     rows are bit-identical for every [jobs] value on the {!Sharded} stream.
+
+    [kernel] (default {!Batched}) selects the simulation kernel on the
+    sharded stream; the batch — up to {!Simulator.batch_width} trials —
+    is then also the unit of scheduling (one pool item and one
+    budget check per batch instead of per trial).  Rows are bit-identical
+    across kernels, and batches are aligned so they never straddle a row
+    or a checkpoint shard.  [kernel] is ignored by the {!Legacy} stream.
 
     [budget] (default {!Fpva_testgen.Budget.unlimited}) caps wall clock:
     once it is exhausted no further trial is scored, the row being

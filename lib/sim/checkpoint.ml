@@ -226,8 +226,16 @@ module Shards = struct
     | v -> v
     | exception Dec.Malformed _ -> None
 
-  let make ck ~rows ~trials ~size ~enc ~dec =
+  let make ?(align = 1) ck ~rows ~trials ~size ~enc ~dec =
     if size < 1 then invalid_arg "Checkpoint.Shards.make: size must be >= 1";
+    if align < 1 then
+      invalid_arg "Checkpoint.Shards.make: align must be >= 1";
+    (* Shards are carved at multiples of [size] from each row's origin, so
+       [size mod align = 0] guarantees an [align]-wide block starting at a
+       multiple of [align] never straddles a shard — the engine's batches
+       must be decidable (skip/store) as a unit. *)
+    if size mod align <> 0 then
+      invalid_arg "Checkpoint.Shards.make: size must be a multiple of align";
     let spr = (trials + size - 1) / size in
     let nshards = rows * spr in
     let t =

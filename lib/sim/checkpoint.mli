@@ -112,6 +112,7 @@ module Shards : sig
   type 'a t
 
   val make :
+    ?align:int ->
     store ->
     rows:int ->
     trials:int ->
@@ -123,7 +124,15 @@ module Shards : sig
       {!Fpva_util.Journal.Dec.Malformed}.  Each payload additionally
       records its own [(lo, count)] range, so a record can never be
       replayed into a different slice of the run (e.g. after a shard-size
-      change) — a mismatch drops the record for recomputation. *)
+      change) — a mismatch drops the record for recomputation.
+
+      [align] (default 1) declares the engine's batch width: [size] must
+      be a multiple of it, which guarantees an [align]-wide block of
+      indices starting at a multiple of [align] within a row lies inside
+      exactly one shard — {!skip} on the block's first index then decides
+      the whole block.
+      @raise Invalid_argument if [size < 1], [align < 1], or [size] is
+      not a multiple of [align]. *)
 
   val skip : 'a t -> int -> bool
   (** The shard holding item [g] was replayed from the journal. *)

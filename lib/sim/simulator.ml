@@ -97,6 +97,149 @@ let detected_by_suite_h h ~faults suite =
 let first_detecting_h h ~faults suite =
   List.find_opt (fun v -> detects_h h ~faults v) suite
 
+(* ---------- bit-parallel batch handle ---------- *)
+
+let batch_width = Compiled.batch_width
+
+(* Per-vector work for a whole batch: rebuild the effective-state lane
+   masks (commanded states, then the control-leak fixpoint, then the
+   stuck-at overrides — the same precedence as [effective_states_into],
+   applied per lane), one batch BFS, one masked golden compare.  The
+   stuck-at masks and the leak list depend only on the loaded faults, so
+   they are built once per batch by [batch_set_lane]. *)
+type batch = {
+  bt_fpva : Fpva.t;
+  bt_comp : Compiled.t;
+  bt_scratch : Compiled.batch_scratch;
+  bt_open : int array;  (* per valve: lanes seeing it open, rebuilt per vector *)
+  bt_sa1 : int array;  (* per valve: lanes forcing it open *)
+  bt_sa0 : int array;  (* per valve: lanes forcing it closed *)
+  mutable bt_leaks : (int * int * int) list;  (* lane bit, aggressor, victim *)
+  bt_obs : int array;  (* per port: lanes pressurising it *)
+}
+
+let make_batch fpva =
+  let comp = Compiled.get fpva in
+  let nv = Compiled.num_valves comp in
+  { bt_fpva = fpva;
+    bt_comp = comp;
+    bt_scratch = Compiled.create_batch_scratch comp;
+    (* One slot per valve plus the always-open sentinel slot the batch
+       sweep uses for non-valve arcs (see [Compiled.pressurized_batch_into]). *)
+    bt_open = Array.make (nv + 1) 0;
+    bt_sa1 = Array.make (max nv 1) 0;
+    bt_sa0 = Array.make (max nv 1) 0;
+    bt_leaks = [];
+    bt_obs = Array.make (Compiled.num_ports comp) 0 }
+
+let batch_fpva b = b.bt_fpva
+
+let batch_reset b =
+  Array.fill b.bt_sa1 0 (Array.length b.bt_sa1) 0;
+  Array.fill b.bt_sa0 0 (Array.length b.bt_sa0) 0;
+  b.bt_leaks <- []
+
+let batch_set_lane b lane ~faults =
+  if lane < 0 || lane >= batch_width then
+    invalid_arg "Simulator.batch_set_lane: lane out of range";
+  let bit = 1 lsl lane in
+  List.iter
+    (fun f ->
+      (* Intermittents collapse to their deterministic worst case, exactly
+         as [effective_states_into] does via [Fault.underlying]. *)
+      match Fault.underlying f with
+      | Fault.Stuck_at_1 v -> b.bt_sa1.(v) <- b.bt_sa1.(v) lor bit
+      | Fault.Stuck_at_0 v -> b.bt_sa0.(v) <- b.bt_sa0.(v) lor bit
+      | Fault.Control_leak (a, v) -> b.bt_leaks <- (bit, a, v) :: b.bt_leaks
+      | Fault.Intermittent _ -> assert false)
+    faults
+
+let batch_detects b ~alive (v : Tv.t) =
+  let nv = Compiled.num_valves b.bt_comp in
+  let ov = v.Tv.open_valves in
+  if Array.length ov <> nv then invalid_arg "Simulator.batch_detects";
+  let om = b.bt_open in
+  if b.bt_leaks = [] then begin
+    (* Hot path (every stuck-at-only batch, i.e. the whole campaign):
+       commanded state and the stuck-at overrides in one pass.  SA1
+       forces open, then SA0 forces closed — a valve under both lands
+       closed, matching the scalar pass order.  [sa1]/[sa0] have [nv]
+       slots, [om] has [nv + 1], and [ov]'s length was checked above.
+
+       The same pass collects [dev], the lanes whose effective state
+       differs from the commanded state on at least one valve: a
+       commanded-open valve deviates for the lanes its SA0 forces
+       closed, a commanded-closed one for the lanes its SA1 forces
+       open.  A lane outside [dev] drives exactly the fault-free valve
+       states, so its observation is the golden response by definition
+       — it cannot detect, and the sweep can skip it. *)
+    let sa1 = b.bt_sa1 and sa0 = b.bt_sa0 in
+    let dev = ref 0 in
+    for vid = 0 to nv - 1 do
+      let sa1v = Array.unsafe_get sa1 vid
+      and sa0v = Array.unsafe_get sa0 vid in
+      if Array.unsafe_get ov vid then begin
+        Array.unsafe_set om vid ((alive lor sa1v) land lnot sa0v);
+        dev := !dev lor sa0v
+      end
+      else begin
+        Array.unsafe_set om vid (sa1v land lnot sa0v);
+        dev := !dev lor sa1v
+      end
+    done;
+    let active = alive land !dev in
+    if active = 0 then 0
+    else begin
+      Compiled.pressurized_batch_into b.bt_comp b.bt_scratch ~active
+        ~open_mask:om ~into:b.bt_obs;
+      (* A lane detects iff any port's observation differs from golden —
+         the lane-wise transcription of [detects_h]'s array compare,
+         restricted to the lanes that could deviate at all. *)
+      let diff = ref 0 in
+      let golden = v.Tv.golden in
+      for i = 0 to Compiled.num_ports b.bt_comp - 1 do
+        let gm = if golden.(i) then active else 0 in
+        diff := !diff lor ((b.bt_obs.(i) lxor gm) land active)
+      done;
+      !diff
+    end
+  end
+  else begin
+    for vid = 0 to nv - 1 do
+      om.(vid) <- (if ov.(vid) then alive else 0)
+    done;
+    (* Leak closure on the commanded states: a chaotic iteration of the
+       per-lane rules (closures only accumulate, so the fixpoint is unique
+       and matches the scalar per-lane iteration). *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (bit, a, victim) ->
+          if om.(a) land bit = 0 && om.(victim) land bit <> 0 then begin
+            om.(victim) <- om.(victim) land lnot bit;
+            changed := true
+          end)
+        b.bt_leaks
+    done;
+    (* SA1 forces open, then SA0 forces closed: a valve under both lands
+       closed, matching the scalar pass order. *)
+    for vid = 0 to nv - 1 do
+      om.(vid) <- (om.(vid) lor b.bt_sa1.(vid)) land lnot b.bt_sa0.(vid)
+    done;
+    Compiled.pressurized_batch_into b.bt_comp b.bt_scratch ~active:alive
+      ~open_mask:om ~into:b.bt_obs;
+    (* A lane detects iff any port's observation differs from golden —
+       the lane-wise transcription of [detects_h]'s array compare. *)
+    let diff = ref 0 in
+    let golden = v.Tv.golden in
+    for i = 0 to Compiled.num_ports b.bt_comp - 1 do
+      let gm = if golden.(i) then alive else 0 in
+      diff := !diff lor ((b.bt_obs.(i) lxor gm) land alive)
+    done;
+    !diff
+  end
+
 (* ---------- per-call wrappers ---------- *)
 
 let response fpva ~faults ~open_valves =

@@ -62,6 +62,45 @@ val first_detecting_h :
   Fpva_testgen.Test_vector.t list ->
   Fpva_testgen.Test_vector.t option
 
+(** {2 Bit-parallel batch handle}
+
+    A [batch] scores up to {!batch_width} independent fault-injection
+    trials per vector application: lane [l] of every mask word carries
+    trial [l]'s effective valve states through one
+    {!Fpva_grid.Compiled.pressurized_batch_into} sweep.  Load each
+    trial's fault list into a lane, then call {!batch_detects} per
+    vector with the set of still-undetected lanes; per lane the verdict
+    is bit-identical to {!detects_h} with the same faults (the
+    differential qcheck in [test/suite_parallel.ml] pins this). *)
+
+type batch
+
+val batch_width : int
+(** Trials per batch: {!Fpva_grid.Compiled.batch_width} (63). *)
+
+val make_batch : Fpva_grid.Fpva.t -> batch
+(** Compile (or fetch) the layout and allocate the batch's private lane
+    buffers.  Like {!make}, a batch must not be shared between
+    interleaved simulations. *)
+
+val batch_fpva : batch -> Fpva_grid.Fpva.t
+
+val batch_reset : batch -> unit
+(** Clear every lane's faults — call before loading the next batch. *)
+
+val batch_set_lane : batch -> int -> faults:Fault.t list -> unit
+(** Load one trial's fault list into lane [l] (0-based).  Fault
+    precedence matches {!effective_states}: leaks close victims first,
+    stuck-at-1 forces open, stuck-at-0 forces closed; intermittent
+    wrappers are their deterministic worst case.
+    @raise Invalid_argument if the lane is outside [0, batch_width). *)
+
+val batch_detects : batch -> alive:int -> Fpva_testgen.Test_vector.t -> int
+(** [batch_detects b ~alive v] applies [v] to every lane in the [alive]
+    set at once and returns the lanes whose observed response differs
+    from [v]'s golden response.  Bits outside [alive] come back 0.
+    Allocation-free. *)
+
 (** {2 Per-call API} *)
 
 val response :

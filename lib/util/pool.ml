@@ -53,12 +53,18 @@ let sequential ~n ~init ~teardown ~body =
   end;
   out
 
-let run ~jobs ~n ~init ?teardown ~body () =
+let run ?(min_per_worker = 4) ~jobs ~n ~init ?teardown ~body () =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  if min_per_worker < 1 then
+    invalid_arg "Pool.run: min_per_worker must be >= 1";
   if n < 0 then invalid_arg "Pool.run: negative item count";
-  if jobs = 1 || n <= 1 then sequential ~n ~init ~teardown ~body
+  (* A domain spawn costs more than a handful of items: never give a
+     worker fewer than [min_per_worker], and with too few items for even
+     a second worker run the whole range sequentially in the caller. *)
+  let workers = min (min jobs n) (max 1 (n / min_per_worker)) in
+  if jobs = 1 || workers <= 1 || n <= 1 then
+    sequential ~n ~init ~teardown ~body
   else begin
-    let workers = min jobs n in
     (* Several chunks per worker so a slow chunk does not straggle the
        whole run, but chunks big enough that the counter is cold. *)
     let chunk = max 1 (n / (workers * 8)) in

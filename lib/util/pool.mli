@@ -26,6 +26,7 @@ exception Multi_failure of exn * (int * string) list
     renders all of them. *)
 
 val run :
+  ?min_per_worker:int ->
   jobs:int ->
   n:int ->
   init:(unit -> 'w) ->
@@ -34,8 +35,14 @@ val run :
   unit ->
   'a array
 (** With [jobs = 1] (or [n <= 1]) everything runs in the calling domain and
-    no domain is spawned.  If any [init], [body] or [teardown] raises, the
-    remaining workers finish their current chunk and every worker is
-    joined; then a {e single} failure is re-raised as-is, while multiple
-    failures raise {!Multi_failure} aggregating all of them.
-    @raise Invalid_argument if [jobs < 1] or [n < 0]. *)
+    no domain is spawned.  [min_per_worker] (default 4) is the spawn
+    threshold: the pool never starts a worker that would average fewer
+    items than that, so a tiny range — e.g. [jobs = 8] over [n = 3] —
+    runs sequentially in the caller instead of paying domain spawns that
+    cost more than the work (results are identical either way).  If any
+    [init], [body] or [teardown] raises, the remaining workers finish
+    their current chunk and every worker is joined; then a {e single}
+    failure is re-raised as-is, while multiple failures raise
+    {!Multi_failure} aggregating all of them.
+    @raise Invalid_argument if [jobs < 1], [n < 0] or
+    [min_per_worker < 1]. *)

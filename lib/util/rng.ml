@@ -84,13 +84,29 @@ let shuffle_in_place t a =
 
 let sample_without_replacement t k n =
   if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
-  (* Floyd's algorithm: O(k) expected draws, no O(n) allocation. *)
-  let seen = Hashtbl.create (2 * k) in
-  let out = ref [] in
-  for j = n - k to n - 1 do
-    let r = int t (j + 1) in
-    let x = if Hashtbl.mem seen r then j else r in
-    Hashtbl.replace seen x ();
-    out := x :: !out
-  done;
-  !out
+  (* Floyd's algorithm: O(k) expected draws, no O(n) allocation.  Small
+     draws (the campaign hot path: k <= 5, millions of calls) keep the
+     seen-set as the output list itself — linear membership beats paying
+     a Hashtbl allocation per call by an order of magnitude.  Both
+     branches consume identical randomness, so the draws (and every
+     campaign row derived from them) are bit-identical either way. *)
+  if k <= 16 then begin
+    let out = ref [] in
+    for j = n - k to n - 1 do
+      let r = int t (j + 1) in
+      let x = if List.mem r !out then j else r in
+      out := x :: !out
+    done;
+    !out
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let out = ref [] in
+    for j = n - k to n - 1 do
+      let r = int t (j + 1) in
+      let x = if Hashtbl.mem seen r then j else r in
+      Hashtbl.replace seen x ();
+      out := x :: !out
+    done;
+    !out
+  end

@@ -23,8 +23,9 @@ let suite =
     (let r = Pipeline.run_exn (Lazy.force six) in
      r.Pipeline.vectors)
 
-(* 600 trials x 2 rows at shard size 256 -> 6 shards; small enough to run
-   many times, big enough that truncation points land everywhere. *)
+(* 600 trials x 2 rows at shard size 252 -> 3 shards per row, 6 total;
+   small enough to run many times, big enough that truncation points land
+   everywhere. *)
 let config trials seed =
   { Campaign.trials; seed; fault_counts = [ 1; 2 ];
     classes = [ `Stuck_at_0; `Stuck_at_1 ] }
@@ -102,6 +103,32 @@ let property_tests =
       (fun () ->
         checkb "some shards replayed" true (!total_resumed > 0);
         checkb "some shards recomputed" true (!total_recomputed > 0));
+    case "a batched run's checkpoint resumes under the scalar kernel \
+          (and at different jobs)" (fun () ->
+        (* The kernels share the per-trial journal format, so a journal
+           written by batched workers can be completed by scalar ones —
+           and vice versa — with rows identical to a cold run. *)
+        let fpva = Lazy.force six and vectors = Lazy.force suite in
+        let config = config 600 23 in
+        let key = Campaign.checkpoint_key config fpva ~vectors in
+        let cold = rendered (Campaign.run ~config ~jobs:1 fpva ~vectors) in
+        with_tmp (fun path ->
+            let ck = open_ok ~path ~resume:false ~key () in
+            ignore
+              (Campaign.run ~config ~kernel:Campaign.Batched ~checkpoint:ck
+                 fpva ~vectors);
+            Checkpoint.close ck;
+            truncate_file path (file_size path / 2);
+            let ck = open_ok ~path ~resume:true ~key () in
+            let r =
+              Campaign.run ~config ~kernel:Campaign.Scalar ~jobs:4
+                ~checkpoint:ck fpva ~vectors
+            in
+            checkb "resumed mid-way" true (Checkpoint.resumed_shards ck > 0);
+            checkb "recomputed the tail" true
+              (Checkpoint.recorded_shards ck > 0);
+            Checkpoint.close ck;
+            checkb "identical to the cold run" true (rendered r = cold)));
   ]
 
 (* ---------- edges of the contract ---------- *)

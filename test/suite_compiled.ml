@@ -187,4 +187,72 @@ let traversal_tests =
              ~closed_valve:(fun _ -> false)));
   ]
 
-let tests = construction_tests @ cache_tests @ traversal_tests
+(* The bit-parallel sweep must agree with the scalar BFS on every lane:
+   each lane carries an independent random open-valve assignment, and
+   extracting lane [l] of the batched per-port masks must reproduce
+   [pressurized_into] under that lane's assignment exactly — including
+   lanes outside [active], which must come back all-zero. *)
+let batch_tests =
+  [
+    qcheck ~count:60 "batched traversal matches scalar on every lane"
+      QCheck2.Gen.(int_bound 1_000_000)
+      (fun seed ->
+        let module R = Fpva_util.Rng in
+        let rng = R.create seed in
+        let t = random_layout rng in
+        let comp = Compiled.get t in
+        let nv = Compiled.num_valves comp in
+        let np = Compiled.num_ports comp in
+        let width = 1 + R.int rng Compiled.batch_width in
+        (* [1 lsl 63] is unspecified on 63-bit ints: the full-width mask
+           is all ones, i.e. [-1]. *)
+        let active =
+          if width = Compiled.batch_width then -1 else (1 lsl width) - 1
+        in
+        (* One slot per valve plus the sweep's sentinel scratch slot. *)
+        let open_mask = Array.init (nv + 1) (fun _ ->
+            (* Random per-lane open bits across all 63 lanes, including
+               lanes above [width] that the sweep must ignore. *)
+            R.int rng max_int lor (if R.bool rng then min_int else 0))
+        in
+        let into = Array.make np 0 in
+        let bs = Compiled.create_batch_scratch comp in
+        Compiled.pressurized_batch_into comp bs ~active ~open_mask ~into;
+        let scratch = Compiled.create_scratch comp in
+        let expect = Array.make np false in
+        let ok = ref true in
+        for l = 0 to Compiled.batch_width - 1 do
+          if l < width then begin
+            Graph.pressurized_into comp scratch
+              ~open_valve:(fun v -> open_mask.(v) land (1 lsl l) <> 0)
+              ~into:expect;
+            for p = 0 to np - 1 do
+              if (into.(p) land (1 lsl l) <> 0) <> expect.(p) then ok := false
+            done
+          end
+          else
+            for p = 0 to np - 1 do
+              if into.(p) land (1 lsl l) <> 0 then ok := false
+            done
+        done;
+        !ok);
+    case "batch scratch reuse across sweeps is safe" (fun () ->
+        let t = small_full_layout 4 4 in
+        let comp = Compiled.get t in
+        let bs = Compiled.create_batch_scratch comp in
+        let np = Compiled.num_ports comp in
+        let nv = Compiled.num_valves comp + 1 in
+        let all = Array.make np 0 and none = Array.make np 0 in
+        let again = Array.make np 0 in
+        Compiled.pressurized_batch_into comp bs ~active:(-1)
+          ~open_mask:(Array.make nv (-1)) ~into:all;
+        Compiled.pressurized_batch_into comp bs ~active:(-1)
+          ~open_mask:(Array.make nv 0) ~into:none;
+        Compiled.pressurized_batch_into comp bs ~active:(-1)
+          ~open_mask:(Array.make nv (-1)) ~into:again;
+        check (Alcotest.array Alcotest.int) "generations isolate sweeps" all
+          again;
+        checkb "closed sweep saw the closures" true (all <> none));
+  ]
+
+let tests = construction_tests @ cache_tests @ traversal_tests @ batch_tests

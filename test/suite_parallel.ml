@@ -285,6 +285,78 @@ let budget_tests =
           = [ (0.0, 1); (0.0, 2); (0.02, 1); (0.02, 2) ]));
   ]
 
+(* The bit-parallel kernel against its scalar reference: rows must be
+   bit-identical for trial counts that exercise every batch shape — a
+   single width-1 batch, one exactly-full batch, a full batch plus a
+   width-1 remainder, and multi-batch rows — at several jobs values, and
+   for fault counts including 0 (every lane void). *)
+let kernel_tests =
+  [
+    qcheck ~count:5 "batched rows are bit-identical to scalar rows"
+      QCheck2.Gen.(int_bound 1_000)
+      (fun seed ->
+        let t, vectors = Lazy.force five in
+        List.for_all
+          (fun trials ->
+            let config =
+              { Campaign.default_config with
+                Campaign.trials;
+                fault_counts = [ 1; 2 ];
+                seed }
+            in
+            let rows kernel jobs =
+              (Campaign.run ~config ~kernel ~jobs t ~vectors).Campaign.rows
+            in
+            let reference = rows Campaign.Scalar 1 in
+            List.for_all
+              (fun jobs -> rows_eq reference (rows Campaign.Batched jobs))
+              [ 1; 2; 4 ])
+          [ 1; 40; 63; 64; 127 ]);
+    case "fault count 0 voids every lane, identically" (fun () ->
+        let t, vectors = Lazy.force five in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 70;
+            fault_counts = [ 0; 1 ] }
+        in
+        let rows kernel =
+          (Campaign.run ~config ~kernel t ~vectors).Campaign.rows
+        in
+        let b = rows Campaign.Batched in
+        checkb "batched = scalar" true (rows_eq (rows Campaign.Scalar) b);
+        let zero = List.hd b in
+        checki "all trials void" 70 zero.Campaign.void_draws;
+        checki "nothing detected" 0 zero.Campaign.detected);
+    qcheck ~count:8
+      "a budget exhausted mid-batch still yields a bit-identical prefix"
+      QCheck2.Gen.(pair (int_bound 1_000) (int_bound 20))
+      (fun (seed, millis) ->
+        (* Same prefix property as the scalar budget tests, but against a
+           *scalar, unbudgeted* reference: whole batches are the unit of
+           budget-skipping, and whole rows the unit of truncation, so the
+           kernels may disagree on *which* rows survive but never on the
+           surviving rows' bits. *)
+        let t, vectors = Lazy.force five in
+        let counts = [ 1; 2; 3; 4 ] in
+        let config =
+          { Campaign.default_config with
+            Campaign.trials = 65;  (* forces a width-2 final batch *)
+            fault_counts = counts;
+            seed }
+        in
+        let full = Campaign.run ~config ~kernel:Campaign.Scalar t ~vectors in
+        let part =
+          Campaign.run ~config ~jobs:2
+            ~budget:(Budget.of_seconds (float_of_int millis /. 1000.0))
+            t ~vectors
+        in
+        let n = List.length part.Campaign.rows in
+        n <= List.length full.Campaign.rows
+        && rows_eq part.Campaign.rows
+             (List.filteri (fun i _ -> i < n) full.Campaign.rows)
+        && part.Campaign.truncated = List.filteri (fun i _ -> i >= n) counts);
+  ]
+
 let tests =
   jobs_parity_tests @ stream_tests @ diagnosis_tests @ pool_failure_tests
-  @ budget_tests
+  @ budget_tests @ kernel_tests

@@ -265,6 +265,12 @@ let coverage_tests =
         checkb "campaign.run span" true (List.mem "campaign.run" names);
         checkb "pool.worker spans" true (List.mem "pool.worker" names);
         checkb "trials counted" true (count_of "campaign.trials" = 80);
+        (* The batched kernel makes the batch the pool's work item: 40
+           trials fit one 63-wide batch, so each row is one item.  Every
+           trial must still be metered exactly once by the per-batch
+           aggregate counter. *)
+        checki "each trial batch-counted once" 80
+          (count_of "campaign.batched_trials");
         let workers =
           List.filter (fun e -> e.Trace.name = "pool.worker") (events ())
         in
@@ -276,7 +282,7 @@ let coverage_tests =
               | None -> acc)
             0 workers
         in
-        checki "worker shards cover every trial" 80 claimed);
+        checki "worker items cover every batch" 2 claimed);
     case "diagnosis.build is spanned" (fun () ->
         let t = Layouts.paper_array 4 in
         let suite = Pipeline.run_exn t in

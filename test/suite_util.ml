@@ -313,6 +313,37 @@ let pool_tests =
           Pool.run ~jobs:8 ~n:3 ~init:(fun () -> ()) ~body:(fun () i -> i) ()
         in
         check (Alcotest.array Alcotest.int) "tiny range" [| 0; 1; 2 |] got);
+    case "a tiny range spawns no domains" (fun () ->
+        (* With the default min_per_worker threshold, jobs=8 over n=3 must
+           run entirely in the caller: exactly one init, and every item
+           computed on the calling domain. *)
+        let inits = Atomic.make 0 in
+        let caller = Domain.self () in
+        let got =
+          Pool.run ~jobs:8 ~n:3
+            ~init:(fun () -> Atomic.incr inits)
+            ~body:(fun () i ->
+              checkb "runs on the calling domain" true (Domain.self () = caller);
+              i * 10)
+            ()
+        in
+        check (Alcotest.array Alcotest.int) "results" [| 0; 10; 20 |] got;
+        checki "exactly one worker state" 1 (Atomic.get inits));
+    case "min_per_worker bounds the worker count" (fun () ->
+        (* 10 items at >= 4 each allows 2 workers, not 5. *)
+        let inits = Atomic.make 0 in
+        let _ =
+          Pool.run ~jobs:5 ~n:10
+            ~init:(fun () -> Atomic.incr inits)
+            ~body:(fun () i -> i)
+            ()
+        in
+        checkb "at most 2 workers" true (Atomic.get inits <= 2);
+        Alcotest.check_raises "min_per_worker 0"
+          (Invalid_argument "Pool.run: min_per_worker must be >= 1") (fun () ->
+            ignore
+              (Pool.run ~min_per_worker:0 ~jobs:1 ~n:1 ~init:(fun () -> ())
+                 ~body:(fun () i -> i) ())));
     case "empty range" (fun () ->
         let got =
           Pool.run ~jobs:4 ~n:0 ~init:(fun () -> ()) ~body:(fun () i -> i) ()
