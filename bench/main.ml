@@ -1013,6 +1013,125 @@ let serve_bench () =
       cold_was_cold && !all_warm && warm_faster)
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive sequential diagnosis vs fixed-suite replay                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance gate for adaptive diagnosis: replaying every dictionary
+   entry through the entropy-driven sequential session must (a) isolate
+   the same outcome class as the full-suite [diagnose] for every fault —
+   bit-identical at zero noise — and (b) need strictly fewer reads on
+   average than applying the fixed suite.  Same artifact discipline as
+   the campaign bench: every field is computed this run, written to
+   BENCH_diagnosis.json, read back and hard-checked. *)
+let diagnosis_bench () =
+  heading "Sequential diagnosis: adaptive reads vs fixed-suite replay (8x8)";
+  let module Diagnosis = Fpva_sim.Diagnosis in
+  let fpva = Layouts.paper_array 8 in
+  let suite = Pipeline.run_exn fpva in
+  let faults = Diagnosis.single_faults fpva in
+  let dict = Diagnosis.build fpva ~vectors:suite.Pipeline.vectors ~faults in
+  let classes = List.length (Diagnosis.equivalence_classes dict) in
+  let resolution = Diagnosis.resolution dict in
+  let sw, wall =
+    Fpva_util.Timer.time (fun () -> Diagnosis.Sequential.sweep dict)
+  in
+  let mean = sw.Diagnosis.Sequential.mean_reads in
+  let fixed = sw.Diagnosis.Sequential.fixed_reads in
+  let ratio = mean /. Float.max (float_of_int fixed) 1e-9 in
+  let agree = sw.Diagnosis.Sequential.all_agree in
+  let saved = mean < float_of_int fixed in
+  Printf.printf "dictionary       : %d faults, %d vectors, %d classes \
+                 (resolution %.2f)\n"
+    (List.length faults) suite.Pipeline.total classes resolution;
+  Printf.printf
+    "sequential       : %d sessions, mean %.2f reads (p95 %.1f, max %d) in \
+     %.2fs\n"
+    sw.Diagnosis.Sequential.sessions mean sw.Diagnosis.Sequential.p95_reads
+    sw.Diagnosis.Sequential.max_session_reads wall;
+  Printf.printf "fixed suite      : %d reads per session\n" fixed;
+  Printf.printf
+    "reads ratio      : %.2f (gate: < 1.0), outcome classes bit-identical \
+     to diagnose: %b (gate: true)\n"
+    ratio agree;
+  if not agree then
+    Printf.printf
+      "ERROR: a sequential session isolated a different outcome class than \
+       diagnose\n";
+  if not saved then
+    Printf.printf
+      "ERROR: sequential mean reads %.2f not below the fixed suite's %d\n"
+      mean fixed;
+  let oc = open_out "BENCH_diagnosis.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"layout\": \"paper_array_8x8\",\n\
+    \  \"vectors\": %d,\n\
+    \  \"faults\": %d,\n\
+    \  \"equivalence_classes\": %d,\n\
+    \  \"resolution\": %.4f,\n\
+    \  \"sessions\": %d,\n\
+    \  \"sequential_mean_reads\": %.4f,\n\
+    \  \"sequential_p95_reads\": %.1f,\n\
+    \  \"sequential_max_reads\": %d,\n\
+    \  \"fixed_suite_reads\": %d,\n\
+    \  \"reads_ratio\": %.4f,\n\
+    \  \"mean_reads_below_fixed\": %b,\n\
+    \  \"outcome_classes_match\": %b\n\
+     }\n"
+    suite.Pipeline.total (List.length faults) classes resolution
+    sw.Diagnosis.Sequential.sessions mean sw.Diagnosis.Sequential.p95_reads
+    sw.Diagnosis.Sequential.max_session_reads fixed ratio saved agree;
+  close_out oc;
+  Printf.printf "wrote BENCH_diagnosis.json\n";
+  let artifact_ok =
+    let module Json = Fpva_serve.Json in
+    let contents =
+      let ic = open_in_bin "BENCH_diagnosis.json" in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | Error msg ->
+      Printf.printf "ERROR: BENCH_diagnosis.json does not parse: %s\n" msg;
+      false
+    | Ok json ->
+      let problems = ref [] in
+      let need_pos_int f =
+        match Json.get_int f json with
+        | Some v when v > 0 -> ()
+        | Some _ -> problems := (f ^ " is vacuous") :: !problems
+        | None -> problems := (f ^ " missing") :: !problems
+      in
+      let need_pos_float f =
+        match Json.get_float f json with
+        | Some v when v > 0.0 -> ()
+        | Some _ -> problems := (f ^ " is vacuous") :: !problems
+        | None -> problems := (f ^ " missing") :: !problems
+      in
+      let need_true f =
+        match Json.get_bool f json with
+        | Some true -> ()
+        | Some false -> problems := (f ^ " is false") :: !problems
+        | None -> problems := (f ^ " missing") :: !problems
+      in
+      List.iter need_pos_int
+        [ "vectors"; "faults"; "equivalence_classes"; "sessions";
+          "sequential_max_reads"; "fixed_suite_reads" ];
+      List.iter need_pos_float
+        [ "resolution"; "sequential_mean_reads"; "sequential_p95_reads";
+          "reads_ratio" ];
+      List.iter need_true
+        [ "mean_reads_below_fixed"; "outcome_classes_match" ];
+      List.iter
+        (fun p -> Printf.printf "ERROR: BENCH_diagnosis.json: %s\n" p)
+        !problems;
+      !problems = []
+  in
+  if artifact_ok then Printf.printf "BENCH_diagnosis.json self-check passed\n";
+  agree && saved && artifact_ok
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1143,11 +1262,13 @@ let () =
     let trials = match rest with t :: _ -> int_of_string t | [] -> 10_000 in
     if not (checkpoint_bench ~trials ()) then exit 1
   | _ :: "serve" :: _ -> if not (serve_bench ()) then exit 1
+  | _ :: "diagnosis" :: _ -> if not (diagnosis_bench ()) then exit 1
   | _ :: "micro" :: _ -> micro ()
   | _ :: unknown :: _ ->
     Printf.eprintf
       "unknown experiment %S (try table1 | fig8 | fig9 | faults | ablation | \
-       noise | extensions | campaign | checkpoint | serve | micro)\n"
+       noise | extensions | campaign | checkpoint | serve | diagnosis | \
+       micro)\n"
       unknown;
     exit 2
   | [ _ ] | [] ->
@@ -1160,4 +1281,5 @@ let () =
     ignore (campaign_bench ~trials:2_000 ());
     ignore (checkpoint_bench ~trials:2_000 ());
     ignore (serve_bench ());
+    ignore (diagnosis_bench ());
     micro ()

@@ -6,6 +6,8 @@
                the flow paths / cut-sets
      campaign  generate a suite and run a random fault-injection campaign
      diagnose  build a diagnostic dictionary / diagnose an injected fault
+               (fixed-suite replay, or adaptively with --sequential)
+     lifetime  field a fleet of aging chips with periodic in-field retests
      serve     run the persistent test service daemon
      client    send one request to a running daemon
 
@@ -543,13 +545,25 @@ let rec parse_fault spec =
 
 let confidence_t =
   let doc =
-    "Minimum posterior confidence for a ranked candidate to be listed."
+    "Minimum posterior confidence for a ranked candidate to be listed; \
+     with --sequential, the posterior mass at which the adaptive session \
+     stops (default 0.95 under noise)."
   in
   Arg.(value & opt float 0.0 & info [ "confidence" ] ~docv:"C" ~doc)
 
+let sequential_t =
+  let doc =
+    "Adaptive sequential diagnosis: read one vector at a time, each \
+     chosen to maximize expected information about the surviving \
+     candidates, instead of replaying the whole suite.  Without --inject, \
+     sweeps every dictionary entry and reports mean reads-to-isolation \
+     vs. the fixed suite."
+  in
+  Arg.(value & flag & info [ "sequential" ] ~doc)
+
 let diagnose_cmd =
-  let run name rows cols file direct block no_leak inject noise repeats
-      confidence seed jobs checkpoint resume trace metrics =
+  let run name rows cols file direct block no_leak inject sequential noise
+      repeats confidence seed jobs checkpoint resume trace metrics =
     guard_internal @@ fun () ->
     let fpva = resolve_layout ~file name rows cols in
     let config = config_of ~direct ~block ~no_leak () in
@@ -571,7 +585,15 @@ let diagnose_cmd =
       | None -> None
       | Some spec -> (
         match parse_fault spec with
-        | Ok fault -> Some fault
+        | Ok fault -> (
+          (* A well-formed spec can still name a physically impossible
+             fault (out-of-range valve, non-adjacent leak pair); refuse
+             it rather than silently simulating nonsense. *)
+          match Fpva_sim.Fault.validate fpva fault with
+          | Ok () -> Some fault
+          | Error msg ->
+            prerr_endline ("error: invalid fault: " ^ msg);
+            exit 2)
         | Error msg ->
           prerr_endline ("error: " ^ msg);
           exit 2)
@@ -597,6 +619,83 @@ let diagnose_cmd =
        (resolution %.2f)\n"
       (List.length faults) (List.length classes)
       (Fpva_sim.Diagnosis.resolution dict);
+    if sequential then begin
+      let module Seq = Fpva_sim.Diagnosis.Sequential in
+      let noisy = noise > 0.0 in
+      let config =
+        if noisy then begin
+          let meter =
+            Fpva_sim.Measurement.uniform fpva ~false_pass:noise
+              ~false_fail:noise
+          in
+          { Seq.false_pass = Fpva_sim.Measurement.vector_false_pass meter;
+            false_fail = Fpva_sim.Measurement.vector_false_fail meter;
+            confidence = (if confidence > 0.0 then confidence else 0.95);
+            max_reads = None }
+        end
+        else if confidence > 0.0 then { Seq.ideal with Seq.confidence }
+        else Seq.ideal
+      in
+      let pp_stop = function
+        | Seq.Isolated -> "isolated"
+        | Seq.Confident -> "confident"
+        | Seq.Exhausted -> "exhausted"
+      in
+      match injected with
+      | None ->
+        (* No chip under test: replay every dictionary entry against its
+           own stored syndrome and report the adaptive-vs-fixed economics. *)
+        let sw = Seq.sweep ~config dict in
+        Printf.printf
+          "sequential sweep: %d sessions, mean reads %.2f (p95 %.1f, max \
+           %d) vs %d fixed; outcome classes agree: %b\n"
+          sw.Seq.sessions sw.Seq.mean_reads sw.Seq.p95_reads
+          sw.Seq.max_session_reads sw.Seq.fixed_reads sw.Seq.all_agree
+      | Some fault ->
+        let h = Fpva_sim.Simulator.make fpva in
+        let read =
+          if noisy || repeats > 1 then begin
+            let meter =
+              Fpva_sim.Measurement.uniform fpva ~false_pass:noise
+                ~false_fail:noise
+            in
+            let rng = Fpva_util.Rng.create seed in
+            let policy = Retest.policy repeats in
+            fun _ v ->
+              (Retest.apply policy ~read:(fun _ ->
+                   Fpva_sim.Measurement.detects_h meter rng h
+                     ~faults:[ fault ] v))
+                .Retest.failed
+          end
+          else fun _ v -> Fpva_sim.Simulator.detects_h h ~faults:[ fault ] v
+        in
+        let o = Seq.run ~config dict ~read in
+        List.iter
+          (fun (s : Seq.step) ->
+            Printf.printf "  read vector %d -> %s (%d candidates left)\n"
+              s.Seq.vector
+              (if s.Seq.failed then "fail" else "pass")
+              s.Seq.survivors)
+          o.Seq.steps;
+        Printf.printf
+          "sequential session for %s: %d reads (fixed suite %d), stop=%s, \
+           class confidence %.3f\n"
+          (Fpva_sim.Fault.to_string fault)
+          o.Seq.reads
+          (List.length result.Pipeline.vectors)
+          (pp_stop o.Seq.stop) o.Seq.class_confidence;
+        if o.Seq.isolated = [] then
+          print_endline
+            "no candidate survives (multi-fault or out of model)"
+        else begin
+          Printf.printf "isolated class:";
+          List.iter
+            (fun f -> Printf.printf " %s" (Fpva_sim.Fault.to_string f))
+            o.Seq.isolated;
+          print_newline ()
+        end
+    end
+    else
     match injected with
     | None -> ()
     | Some fault -> (
@@ -677,8 +776,9 @@ let diagnose_cmd =
   let term =
     Term.(
       const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
-      $ no_leak_t $ inject_t $ noise_t $ repeats_t $ confidence_t $ seed_t
-      $ jobs_t $ checkpoint_t $ resume_t $ trace_t $ metrics_t)
+      $ no_leak_t $ inject_t $ sequential_t $ noise_t $ repeats_t
+      $ confidence_t $ seed_t $ jobs_t $ checkpoint_t $ resume_t $ trace_t
+      $ metrics_t)
   in
   Cmd.v
     (Cmd.info "diagnose"
@@ -686,6 +786,82 @@ let diagnose_cmd =
          "Build a diagnostic dictionary for the suite; optionally inject a \
           fault (exactly, or through a noisy retested application) and \
           list the consistent or likelihood-ranked candidates.")
+    term
+
+(* ---------- lifetime ---------- *)
+
+let chips_t =
+  let doc = "Fleet size: number of chips fielded." in
+  Arg.(value & opt int 100 & info [ "chips" ] ~docv:"N" ~doc)
+
+let wear_steps_t =
+  let doc = "Wear (aging) steps each chip lives through." in
+  Arg.(value & opt int 20 & info [ "steps" ] ~docv:"N" ~doc)
+
+let retest_every_t =
+  let doc = "Wear steps between in-field retests." in
+  Arg.(value & opt int 5 & info [ "retest-every" ] ~docv:"N" ~doc)
+
+let latent_t =
+  let doc =
+    "Latent faults per chip (0 fields a healthy fleet, a noise-floor \
+     control)."
+  in
+  Arg.(value & opt int 1 & info [ "faults" ] ~docv:"N" ~doc)
+
+let p0_t =
+  let doc = "Latent-fault activation probability after one wear step." in
+  Arg.(value & opt float 0.01 & info [ "p0" ] ~docv:"P" ~doc)
+
+let growth_t =
+  let doc =
+    "Multiplicative wear factor per step: activation follows min(1, p0 * \
+     growth^t)."
+  in
+  Arg.(value & opt float 1.6 & info [ "growth" ] ~docv:"G" ~doc)
+
+let lifetime_cmd =
+  let run name rows cols file direct block no_leak chips steps retest_every
+      latent classes p0 growth noise repeats seed jobs trace metrics =
+    guard_internal @@ fun () ->
+    let fpva = resolve_layout ~file name rows cols in
+    let config = config_of ~direct ~block ~no_leak () in
+    let classes =
+      match parse_classes classes with
+      | Ok cs -> cs
+      | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 2
+    in
+    let lifetime_config =
+      { Fpva_sim.Lifetime.chips; wear_steps = steps; retest_every;
+        fault_count = latent; classes; p0; growth; noise; repeats; seed }
+    in
+    let jobs = resolve_jobs jobs in
+    with_observability ~trace ~metrics @@ fun () ->
+    let result = Pipeline.run_exn ~config fpva in
+    print_endline (Report.summary result);
+    let r =
+      try
+        Fpva_sim.Lifetime.run ~jobs ~config:lifetime_config fpva
+          ~vectors:result.Pipeline.vectors
+      with Invalid_argument msg -> invalid_input "%s" msg
+    in
+    Format.printf "%a@?" Fpva_sim.Lifetime.pp_result r
+  in
+  let term =
+    Term.(
+      const run $ layout_t $ rows_t $ cols_t $ file_t $ direct_t $ block_t
+      $ no_leak_t $ chips_t $ wear_steps_t $ retest_every_t $ latent_t
+      $ classes_t $ p0_t $ growth_t $ noise_t $ repeats_t $ seed_t $ jobs_t
+      $ trace_t $ metrics_t)
+  in
+  Cmd.v
+    (Cmd.info "lifetime"
+       ~doc:
+         "Field a fleet of chips whose latent faults age across wear \
+          cycles, retest them periodically through the noisy measurement \
+          path, and aggregate per-epoch fleet rows.")
     term
 
 (* ---------- serve / client ---------- *)
@@ -987,5 +1163,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ show_cmd; generate_cmd; campaign_cmd; diagnose_cmd; serve_cmd;
-            client_cmd ]))
+          [ show_cmd; generate_cmd; campaign_cmd; diagnose_cmd; lifetime_cmd;
+            serve_cmd; client_cmd ]))

@@ -34,6 +34,19 @@ type config = {
 val default_config : config
 (** 10 000 trials, counts 1–5, stuck-at classes, seed 42. *)
 
+val draw_faults :
+  Fpva_util.Rng.t ->
+  Fpva_grid.Fpva.t ->
+  classes:[ `Stuck_at_0 | `Stuck_at_1 | `Control_leak ] list ->
+  count:int ->
+  Fault.t list
+(** Distinct faults for one trial (no valve reuse across the drawn set).
+    Stuck-at-only class lists use the paper's distinct-valve draw; mixed
+    lists draw class-first with rejection, so the result may be {e short}
+    (fewer than [count]) or empty when the layout cannot host the request.
+    Exposed for workloads that build their own per-chip fault populations
+    ({!Lifetime}). *)
+
 type stream =
   | Sharded
       (** default: per-trial counter-based RNG streams; identical results

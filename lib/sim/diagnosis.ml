@@ -159,7 +159,12 @@ let rank ?(false_pass = 0.0) ?(false_fail = 0.0) ?limit dict observed =
   in
   match limit with
   | None -> ranked
-  | Some n -> List.filteri (fun i _ -> i < n) ranked
+  | Some n ->
+    (* A non-positive limit is a caller bug, not a request for an empty
+       ranking — reject like the flip-rate guards above. *)
+    if n < 1 then
+      invalid_arg (Printf.sprintf "Diagnosis.rank: limit %d must be >= 1" n)
+    else List.filteri (fun i _ -> i < n) ranked
 
 let top_class ranked =
   match ranked with
@@ -201,10 +206,274 @@ let resolution dict =
   let faults = Array.length dict.entries in
   Fpva_util.Stats.ratio classes faults
 
-let distinguishing_vector fpva vectors f1 f2 =
-  let h = Simulator.make fpva in
+let distinguishing_vector ?handle fpva vectors f1 f2 =
+  (* Compiling a fresh handle per call turns any loop over fault pairs
+     into quadratic recompilation; sequential callers pass one in. *)
+  let h = match handle with Some h -> h | None -> Simulator.make fpva in
   List.find_opt
     (fun v ->
       Simulator.detects_h h ~faults:[ f1 ] v
       <> Simulator.detects_h h ~faults:[ f2 ] v)
     vectors
+
+module Sequential = struct
+  module Trace = Fpva_util.Trace
+
+  let sessions_c = Trace.counter "diagnosis.sequential_sessions"
+  let reads_c = Trace.counter "diagnosis.sequential_reads"
+  let mean_reads_g = Trace.gauge "diagnosis.sequential_mean_reads"
+
+  type config = {
+    false_pass : float;
+    false_fail : float;
+    confidence : float;
+    max_reads : int option;
+  }
+
+  let ideal =
+    { false_pass = 0.0; false_fail = 0.0; confidence = 1.0; max_reads = None }
+
+  type stop = Isolated | Confident | Exhausted
+
+  type step = { vector : int; failed : bool; survivors : int }
+
+  type outcome = {
+    steps : step list;
+    reads : int;
+    isolated : Fault.t list;
+    class_confidence : float;
+    stop : stop;
+    all_pass : bool;
+  }
+
+  let binary_entropy q =
+    if q <= 0.0 || q >= 1.0 then 0.0
+    else -.((q *. log q) +. ((1.0 -. q) *. log (1.0 -. q)))
+
+  let check_confidence c =
+    if not (c > 0.0 && c <= 1.0) then
+      invalid_arg
+        (Printf.sprintf "Diagnosis.Sequential: confidence %g outside (0,1]" c)
+
+  let run ?(config = ideal) dict ~read =
+    check_flip_rate "Sequential.run" config.false_pass;
+    check_flip_rate "Sequential.run" config.false_fail;
+    check_confidence config.confidence;
+    let n_f = Array.length dict.entries in
+    let n_v = Array.length dict.vectors in
+    let budget =
+      match config.max_reads with
+      | None -> n_v
+      | Some k ->
+        if k < 1 then
+          invalid_arg "Diagnosis.Sequential: max_reads must be >= 1"
+        else min k n_v
+    in
+    let l_fp =
+      if config.false_pass > 0.0 then log config.false_pass else neg_infinity
+    in
+    let l_nfp = log (1.0 -. config.false_pass) in
+    let l_ff =
+      if config.false_fail > 0.0 then log config.false_fail else neg_infinity
+    in
+    let l_nff = log (1.0 -. config.false_fail) in
+    (* P(observe fail | candidate's dictionary bit is [s]) *)
+    let p_fail s = if s then 1.0 -. config.false_pass else config.false_fail in
+    let syndrome i = snd dict.entries.(i) in
+    let ll = Array.make n_f 0.0 in
+    let weights = Array.make n_f 0.0 in
+    let observed : bool option array = Array.make n_v None in
+    (* Softmax over survivors; fills [weights] and returns the partition
+       sum (0 when every candidate has been eliminated). *)
+    let posterior () =
+      let max_ll = Array.fold_left Float.max neg_infinity ll in
+      if max_ll = neg_infinity then 0.0
+      else begin
+        let z = ref 0.0 in
+        for i = 0 to n_f - 1 do
+          let w =
+            if ll.(i) = neg_infinity then 0.0 else exp (ll.(i) -. max_ll)
+          in
+          weights.(i) <- w;
+          z := !z +. w
+        done;
+        !z
+      end
+    in
+    let survivors () =
+      let n = ref 0 in
+      for i = 0 to n_f - 1 do
+        if ll.(i) > neg_infinity then incr n
+      done;
+      !n
+    in
+    (* Surviving candidates grouped by full dictionary syndrome: the class
+       count drives the isolation stop, the top class the confidence
+       stop. *)
+    let surviving_classes () =
+      let table = Hashtbl.create 32 in
+      let n = ref 0 in
+      for i = 0 to n_f - 1 do
+        if ll.(i) > neg_infinity then begin
+          let key = Array.to_list (syndrome i) in
+          if not (Hashtbl.mem table key) then begin
+            Hashtbl.add table key ();
+            incr n
+          end
+        end
+      done;
+      !n
+    in
+    let top_index () =
+      let best = ref (-1) in
+      for i = 0 to n_f - 1 do
+        if ll.(i) > neg_infinity && (!best < 0 || ll.(i) > ll.(!best)) then
+          best := i
+      done;
+      !best
+    in
+    let steps = ref [] in
+    let reads = ref 0 in
+    let finish stop z =
+      let top = top_index () in
+      let isolated, class_confidence =
+        if top < 0 then ([], 0.0)
+        else begin
+          let ts = syndrome top in
+          let members = ref [] in
+          let mass = ref 0.0 in
+          for i = n_f - 1 downto 0 do
+            if ll.(i) > neg_infinity && syndrome i = ts then begin
+              members := fst dict.entries.(i) :: !members;
+              mass := !mass +. weights.(i)
+            end
+          done;
+          (!members, if z > 0.0 then !mass /. z else 0.0)
+        end
+      in
+      let all_pass =
+        not (List.exists (fun (s : step) -> s.failed) !steps)
+      in
+      Trace.add sessions_c 1;
+      Trace.add reads_c !reads;
+      { steps = List.rev !steps; reads = !reads; isolated; class_confidence;
+        stop; all_pass }
+    in
+    let rec loop () =
+      let z = posterior () in
+      if z = 0.0 then finish Exhausted z
+      else if surviving_classes () <= 1 then finish Isolated z
+      else begin
+        let top = top_index () in
+        let ts = syndrome top in
+        let top_mass = ref 0.0 in
+        for i = 0 to n_f - 1 do
+          if ll.(i) > neg_infinity && syndrome i = ts then
+            top_mass := !top_mass +. weights.(i)
+        done;
+        if !top_mass /. z >= config.confidence then finish Confident z
+        else if !reads >= budget then finish Exhausted z
+        else begin
+          (* Expected-information vector choice: q_v is the posterior
+             probability the next read of v fails; the binary entropy of
+             q_v scores how evenly v splits the surviving candidate mass
+             (the set-level generalization of [distinguishing_vector]).
+             Strict [>] keeps the lowest index on ties. *)
+          let best = ref (-1) in
+          let best_score = ref 0.0 in
+          for v = 0 to n_v - 1 do
+            if observed.(v) = None then begin
+              let q = ref 0.0 in
+              for i = 0 to n_f - 1 do
+                if weights.(i) > 0.0 then
+                  q := !q +. (weights.(i) *. p_fail (syndrome i).(v))
+              done;
+              let score = binary_entropy (!q /. z) in
+              if score > !best_score then begin
+                best := v;
+                best_score := score
+              end
+            end
+          done;
+          if !best < 0 then finish Exhausted z
+          else begin
+            let v = !best in
+            let o = read v dict.vectors.(v) in
+            observed.(v) <- Some o;
+            incr reads;
+            for i = 0 to n_f - 1 do
+              let term =
+                match ((syndrome i).(v), o) with
+                | true, true -> l_nfp
+                | true, false -> l_fp
+                | false, true -> l_ff
+                | false, false -> l_nff
+              in
+              ll.(i) <- ll.(i) +. term
+            done;
+            steps :=
+              { vector = v; failed = o; survivors = survivors () } :: !steps;
+            loop ()
+          end
+        end
+      end
+    in
+    loop ()
+
+  type replay = {
+    fault : Fault.t;
+    reads : int;
+    agreed : bool;
+    replay_all_pass : bool;
+  }
+
+  type sweep = {
+    sessions : int;
+    mean_reads : float;
+    p95_reads : float;
+    max_session_reads : int;
+    fixed_reads : int;
+    all_agree : bool;
+    replays : replay list;
+  }
+
+  let replay_entry ?(config = ideal) dict i =
+    let f, s = dict.entries.(i) in
+    let outcome = run ~config dict ~read:(fun v _ -> s.(v)) in
+    (* Parity with the fixed-suite path: [diagnose] answers [] on an
+       all-pass syndrome (where the session necessarily observes only
+       passes), so an all-pass replay agrees iff the session ended
+       all-pass; otherwise the isolated class must equal [diagnose]'s
+       equivalence class, in dictionary order.  (A session may isolate a
+       failing class from passing reads alone — by eliminating every
+       other class — so [outcome.all_pass] is reported, not compared.) *)
+    let agreed =
+      if all_pass s then outcome.all_pass
+      else outcome.isolated = diagnose dict s
+    in
+    { fault = f; reads = outcome.reads; agreed; replay_all_pass = all_pass s }
+
+  let sweep ?(config = ideal) dict =
+    let n = Array.length dict.entries in
+    let tags =
+      if Trace.is_enabled () then
+        [ ("candidates", string_of_int n);
+          ("vectors", string_of_int (Array.length dict.vectors)) ]
+      else []
+    in
+    Trace.with_span "diagnosis.sequential_sweep" ~tags (fun () ->
+        let replays = List.init n (fun i -> replay_entry ~config dict i) in
+        let reads = Array.of_list (List.map (fun r -> float_of_int r.reads) replays) in
+        let mean_reads = if n = 0 then 0.0 else Fpva_util.Stats.mean reads in
+        let p95_reads =
+          if n = 0 then 0.0 else Fpva_util.Stats.percentile reads 95.0
+        in
+        let max_session_reads =
+          List.fold_left (fun m r -> max m r.reads) 0 replays
+        in
+        Trace.set_gauge mean_reads_g mean_reads;
+        { sessions = n; mean_reads; p95_reads; max_session_reads;
+          fixed_reads = Array.length dict.vectors;
+          all_agree = List.for_all (fun r -> r.agreed) replays;
+          replays })
+end

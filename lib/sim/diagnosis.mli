@@ -92,7 +92,7 @@ val rank :
     observation — each with equal confidence.  (On an all-pass observation
     [diagnose] short-circuits to []; [rank] instead returns the
     undetected-fault class, which is the honest answer under noise.)
-    @raise Invalid_argument if a rate is outside [0,1). *)
+    @raise Invalid_argument if a rate is outside [0,1) or [limit < 1]. *)
 
 val top_class : ranked list -> ranked list
 (** The maximum-likelihood equivalence class: every candidate whose
@@ -112,9 +112,112 @@ val resolution : dictionary -> float
     means full diagnosability down to the single fault. *)
 
 val distinguishing_vector :
+  ?handle:Simulator.handle ->
   Fpva_grid.Fpva.t ->
   Fpva_testgen.Test_vector.t list ->
   Fault.t ->
   Fault.t ->
   Fpva_testgen.Test_vector.t option
-(** A vector from the list telling the two faults apart, if any. *)
+(** A vector from the list telling the two faults apart, if any.
+    [handle] reuses a prebuilt simulator handle for the layout — without
+    it every call recompiles the layout, which is quadratic inside any
+    loop over fault pairs. *)
+
+(** Adaptive sequential diagnosis: instead of replaying the whole suite
+    and matching the full syndrome after the fact, read one vector at a
+    time, each time choosing the unread vector whose outcome carries the
+    most expected information about the surviving candidate set — the
+    set-level generalization of {!distinguishing_vector} — and update a
+    posterior over the dictionary with {!rank}'s per-bit noise
+    likelihoods.  At zero noise this isolates the same equivalence class
+    as the fixed-suite {!diagnose} in (usually far) fewer reads. *)
+module Sequential : sig
+  type config = {
+    false_pass : float;
+        (** probability a predicted-fail read is observed passing
+            (see {!rank}) *)
+    false_fail : float;
+        (** probability a predicted-pass read is observed failing *)
+    confidence : float;
+        (** stop once the top equivalence class holds at least this
+            posterior mass, in (0,1]; 1.0 effectively disables the stop
+            under noise (use e.g. 0.95) and is the right choice at zero
+            noise, where isolation triggers first *)
+    max_reads : int option;
+        (** read budget; [None] allows up to one read per vector *)
+  }
+
+  val ideal : config
+  (** Zero noise, confidence 1.0, no read cap — the configuration whose
+      outcome provably matches fixed-suite {!diagnose}. *)
+
+  type stop =
+    | Isolated  (** survivors form a single equivalence class *)
+    | Confident  (** top-class posterior mass reached [confidence] *)
+    | Exhausted
+        (** read budget spent, no informative vector left, or every
+            candidate eliminated (out-of-model observation) *)
+
+  type step = {
+    vector : int;  (** index into the dictionary's vector array *)
+    failed : bool;  (** the observation for that read *)
+    survivors : int;  (** candidates still alive after the update *)
+  }
+
+  type outcome = {
+    steps : step list;  (** in read order *)
+    reads : int;
+    isolated : Fault.t list;
+        (** the maximum-posterior equivalence class, in dictionary
+            order; at zero noise on an in-model chip this equals
+            {!diagnose} on the full syndrome (empty when every candidate
+            was eliminated) *)
+    class_confidence : float;
+        (** posterior mass of [isolated] (1.0 at zero-noise isolation) *)
+    stop : stop;
+    all_pass : bool;
+        (** no read observed a failure — the sequential analogue of
+            {!diagnose}'s all-pass short-circuit; callers comparing
+            against [diagnose] should treat such outcomes as [] *)
+  }
+
+  val run :
+    ?config:config ->
+    dictionary ->
+    read:(int -> Fpva_testgen.Test_vector.t -> bool) ->
+    outcome
+  (** Drive one adaptive session.  [read i v] applies vector [v] (index
+      [i] in the dictionary) to the chip under test once and reports
+      whether the observation differs from golden; each vector is read at
+      most once.  Wrap majority-vote retesting inside [read] if the
+      channel is noisy ({!Retest.apply}).
+      @raise Invalid_argument on a rate outside [0,1), [confidence]
+      outside (0,1], or [max_reads < 1]. *)
+
+  type replay = {
+    fault : Fault.t;
+    reads : int;
+    agreed : bool;
+        (** the session's outcome class matched fixed-suite {!diagnose}
+            on this entry's full syndrome ([all_pass] outcomes match []) *)
+    replay_all_pass : bool;  (** this entry's syndrome is all-pass *)
+  }
+
+  type sweep = {
+    sessions : int;
+    mean_reads : float;  (** mean reads-to-isolation across sessions *)
+    p95_reads : float;
+    max_session_reads : int;
+    fixed_reads : int;  (** the fixed-suite replay cost: suite size *)
+    all_agree : bool;  (** every session agreed with {!diagnose} *)
+    replays : replay list;  (** in dictionary order *)
+  }
+
+  val sweep : ?config:config -> dictionary -> sweep
+  (** Replay every dictionary entry through {!run}, answering reads from
+      the entry's own stored syndrome (a noiseless chip exhibiting
+      exactly that fault).  With the default {!ideal} config this is the
+      mean-reads-to-isolation vs. fixed-suite comparison the bench
+      gates on: [all_agree] must hold and [mean_reads] must beat
+      [fixed_reads]. *)
+end

@@ -31,13 +31,55 @@ let intermittent ~probability f =
     invalid_arg "Fault.intermittent: probability outside [0,1]";
   Intermittent (f, probability)
 
-let rec is_valid fpva f =
+(* Valves incident to one fluid cell (the candidate leak neighbourhoods). *)
+let incident_valves fpva cell =
+  List.filter_map
+    (fun d ->
+      let e = Coord.edge_towards cell d in
+      if Fpva.edge_in_bounds fpva e then Fpva.valve_id_opt fpva e else None)
+    Coord.all_dirs
+
+let shares_fluid_cell fpva a b =
+  let exception Found in
+  try
+    for r = 0 to Fpva.rows fpva - 1 do
+      for c = 0 to Fpva.cols fpva - 1 do
+        let cell = Coord.cell r c in
+        if Fpva.cell_state fpva cell = Fpva.Fluid then begin
+          let incident = incident_valves fpva cell in
+          if List.mem a incident && List.mem b incident then raise Found
+        end
+      done
+    done;
+    false
+  with Found -> true
+
+let rec validate fpva f =
   let nv = Fpva.num_valves fpva in
   let ok v = v >= 0 && v < nv in
   match f with
-  | Stuck_at_0 v | Stuck_at_1 v -> ok v
-  | Control_leak (a, b) -> ok a && ok b && a <> b
-  | Intermittent (f, p) -> p >= 0.0 && p <= 1.0 && is_valid fpva f
+  | (Stuck_at_0 v | Stuck_at_1 v) when not (ok v) ->
+    Error
+      (Printf.sprintf "%s: valve %d outside [0,%d)" (to_string f) v nv)
+  | Stuck_at_0 _ | Stuck_at_1 _ -> Ok ()
+  | Control_leak (a, b) when not (ok a && ok b) ->
+    Error
+      (Printf.sprintf "%s: valve id outside [0,%d)" (to_string f) nv)
+  | Control_leak (a, b) when a = b ->
+    Error (Printf.sprintf "%s: leak pair must be distinct" (to_string f))
+  | Control_leak (a, b) when not (shares_fluid_cell fpva a b) ->
+    (* The leak model (and [adjacent_pairs] generation) is defined only
+       over control channels meeting at a fluid cell; anything else is a
+       physically impossible fault and must be refused, not simulated. *)
+    Error
+      (Printf.sprintf "%s: valves %d and %d share no fluid cell"
+         (to_string f) a b)
+  | Control_leak _ -> Ok ()
+  | Intermittent (_, p) when not (p >= 0.0 && p <= 1.0) ->
+    Error (Printf.sprintf "%s: probability %g outside [0,1]" (to_string f) p)
+  | Intermittent (f, _) -> validate fpva f
+
+let is_valid fpva f = Result.is_ok (validate fpva f)
 
 let resolve rng faults =
   (* One activity draw per intermittent wrapper per application; permanent
@@ -63,14 +105,7 @@ let adjacent_pairs fpva =
     for c = 0 to Fpva.cols fpva - 1 do
       let cell = Coord.cell r c in
       if Fpva.cell_state fpva cell = Fpva.Fluid then begin
-        let incident =
-          List.filter_map
-            (fun d ->
-              let e = Coord.edge_towards cell d in
-              if Fpva.edge_in_bounds fpva e then Fpva.valve_id_opt fpva e
-              else None)
-            Coord.all_dirs
-        in
+        let incident = incident_valves fpva cell in
         List.iter
           (fun a ->
             List.iter

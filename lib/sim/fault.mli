@@ -33,8 +33,14 @@ val to_string : t -> string
 val valves_involved : t -> int list
 
 val is_valid : Fpva.t -> t -> bool
-(** Ids in range; [Control_leak] pair distinct; [Intermittent] probability
-    in [0,1] and wrapped fault valid. *)
+(** Ids in range; [Control_leak] pair distinct {e and} sharing a fluid
+    cell (the only pairs the leak model is defined over — see
+    {!adjacent_pairs}); [Intermittent] probability in [0,1] and wrapped
+    fault valid. *)
+
+val validate : Fpva.t -> t -> (unit, string) result
+(** Like {!is_valid}, with a human-readable reason on rejection (for CLI
+    [--inject] diagnostics). *)
 
 val underlying : t -> t
 (** The permanent fault beneath any [Intermittent] wrappers (identity on
@@ -54,6 +60,10 @@ val resolve : Fpva_util.Rng.t -> t list -> t list
 val random : Fpva_util.Rng.t -> Fpva.t -> t
 (** A uniformly random fault: polarity fair coin over stuck-at faults; use
     {!random_of_classes} to include control leaks. *)
+
+val adjacent_pairs : Fpva.t -> (int * int) array
+(** Ordered pairs of distinct valves sharing a fluid cell — the universe
+    [Control_leak] instances are drawn from and validated against. *)
 
 val feasible_classes :
   Fpva.t ->

@@ -13,8 +13,17 @@ let mean a =
 let summarize a =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.summarize";
+  (* Same contract as [percentile]: a NaN placeholder poisons every field
+     (mean, stddev, min/max comparisons) instead of failing loudly. *)
+  if Array.exists Float.is_nan a then invalid_arg "Stats.summarize: NaN input";
   let m = mean a in
-  let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  let sq =
+    Array.fold_left
+      (fun acc x ->
+        let d = x -. m in
+        acc +. (d *. d))
+      0.0 a
+  in
   let stddev = if n > 1 then sqrt (sq /. float_of_int (n - 1)) else 0.0 in
   let mn = Array.fold_left min a.(0) a in
   let mx = Array.fold_left max a.(0) a in

@@ -9,7 +9,9 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** @raise Invalid_argument on an empty array. *)
+(** @raise Invalid_argument on an empty array or any NaN element (same
+    contract as {!percentile}: a NaN placeholder must never poison a
+    summary silently). *)
 
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0,100]; linear interpolation between ranks

@@ -1,0 +1,296 @@
+(* Adaptive sequential diagnosis + lifetime wear campaigns, and the
+   diagnosis-path bugfix regressions that ride along (leak adjacency
+   validation, NaN-hostile summaries, rank limit guard). *)
+
+open Helpers
+open Fpva_grid
+open Fpva_testgen
+open Fpva_sim
+module Rng = Fpva_util.Rng
+module Stats = Fpva_util.Stats
+
+let fixture =
+  lazy
+    (let t = Layouts.paper_array 5 in
+     let suite = Pipeline.run_exn t in
+     let faults = Diagnosis.single_faults t in
+     let dict = Diagnosis.build t ~vectors:suite.Pipeline.vectors ~faults in
+     (t, suite, dict))
+
+(* ---------- Sequential diagnosis ---------- *)
+
+let sequential_tests =
+  [
+    case "zero-noise sweep agrees with diagnose and beats the fixed suite"
+      (fun () ->
+        let _, _, dict = Lazy.force fixture in
+        let sw = Diagnosis.Sequential.sweep dict in
+        checkb "all sessions agree with diagnose" true
+          sw.Diagnosis.Sequential.all_agree;
+        checkb "mean reads strictly below fixed-suite replay" true
+          (sw.Diagnosis.Sequential.mean_reads
+          < float_of_int sw.Diagnosis.Sequential.fixed_reads);
+        checkb "no session exceeds the suite" true
+          (sw.Diagnosis.Sequential.max_session_reads
+          <= sw.Diagnosis.Sequential.fixed_reads));
+    case "every zero-noise replay isolates or ends all-pass" (fun () ->
+        let _, _, dict = Lazy.force fixture in
+        let sw = Diagnosis.Sequential.sweep dict in
+        List.iter
+          (fun (r : Diagnosis.Sequential.replay) ->
+            checkb
+              (Format.asprintf "replay of %a agreed" Fault.pp
+                 r.Diagnosis.Sequential.fault)
+              true r.Diagnosis.Sequential.agreed)
+          sw.Diagnosis.Sequential.replays);
+    case "pinned mean-reads row on the paper 5x5" (fun () ->
+        (* The selection rule is deterministic (entropy argmax, lowest
+           index on ties), so the sweep economics are a pinned regression
+           row: 78 sessions averaging 491/78 reads against 17 fixed. *)
+        let _, _, dict = Lazy.force fixture in
+        let sw = Diagnosis.Sequential.sweep dict in
+        checki "sessions" 78 sw.Diagnosis.Sequential.sessions;
+        checki "fixed reads" 17 sw.Diagnosis.Sequential.fixed_reads;
+        checki "max session reads" 11 sw.Diagnosis.Sequential.max_session_reads;
+        checkb "mean reads" true
+          (abs_float (sw.Diagnosis.Sequential.mean_reads -. (491.0 /. 78.0))
+          < 1e-9);
+        checkb "p95 reads" true
+          (abs_float (sw.Diagnosis.Sequential.p95_reads -. 10.0) < 1e-9));
+    case "max_reads budget is respected" (fun () ->
+        let _, _, dict = Lazy.force fixture in
+        let config =
+          { Diagnosis.Sequential.ideal with
+            Diagnosis.Sequential.max_reads = Some 2 }
+        in
+        let sw = Diagnosis.Sequential.sweep ~config dict in
+        checkb "capped at 2" true
+          (sw.Diagnosis.Sequential.max_session_reads <= 2));
+    case "noisy session stops confident and keeps the injected fault"
+      (fun () ->
+        let t, suite, dict = Lazy.force fixture in
+        let fault = Fault.Stuck_at_0 3 in
+        let syndrome =
+          Diagnosis.syndrome_of t ~vectors:suite.Pipeline.vectors
+            ~faults:[ fault ]
+        in
+        let rng = Rng.create 11 in
+        let rate = 0.05 in
+        let config =
+          { Diagnosis.Sequential.false_pass = rate; false_fail = rate;
+            confidence = 0.9; max_reads = None }
+        in
+        let outcome =
+          Diagnosis.Sequential.run ~config dict ~read:(fun i _ ->
+              let flip = Rng.float rng 1.0 < rate in
+              if flip then not syndrome.(i) else syndrome.(i))
+        in
+        checkb "stopped on confidence or isolation" true
+          (outcome.Diagnosis.Sequential.stop <> Diagnosis.Sequential.Exhausted);
+        checkb "injected fault in the isolated class" true
+          (List.exists (Fault.equal fault)
+             outcome.Diagnosis.Sequential.isolated));
+    case "invalid sequential configs are rejected" (fun () ->
+        let _, _, dict = Lazy.force fixture in
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        checkb "confidence 0" true
+          (raises (fun () ->
+               Diagnosis.Sequential.run
+                 ~config:
+                   { Diagnosis.Sequential.ideal with
+                     Diagnosis.Sequential.confidence = 0.0 }
+                 dict
+                 ~read:(fun _ _ -> false)));
+        checkb "max_reads 0" true
+          (raises (fun () ->
+               Diagnosis.Sequential.run
+                 ~config:
+                   { Diagnosis.Sequential.ideal with
+                     Diagnosis.Sequential.max_reads = Some 0 }
+                 dict
+                 ~read:(fun _ _ -> false))));
+    qcheck_layout ~count:20
+      "zero-noise sequential isolates diagnose's equivalence class"
+      (fun t ->
+        match Pipeline.run t with
+        | Error _ -> true
+        | Ok suite ->
+          let faults = Diagnosis.single_faults t in
+          if faults = [] || suite.Pipeline.vectors = [] then true
+          else begin
+            let dict =
+              Diagnosis.build t ~vectors:suite.Pipeline.vectors ~faults
+            in
+            let sw = Diagnosis.Sequential.sweep dict in
+            sw.Diagnosis.Sequential.all_agree
+            && sw.Diagnosis.Sequential.max_session_reads
+               <= sw.Diagnosis.Sequential.fixed_reads
+          end);
+    case "distinguishing_vector with a shared handle matches without"
+      (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let h = Simulator.make t in
+        let f1 = Fault.Stuck_at_0 0 and f2 = Fault.Stuck_at_1 4 in
+        checkb "same answer" true
+          (Diagnosis.distinguishing_vector ~handle:h t suite.Pipeline.vectors
+             f1 f2
+          = Diagnosis.distinguishing_vector t suite.Pipeline.vectors f1 f2));
+  ]
+
+(* ---------- Lifetime wear campaigns ---------- *)
+
+let lifetime_config =
+  { Lifetime.chips = 24; wear_steps = 10; retest_every = 2; fault_count = 1;
+    classes = [ `Stuck_at_0; `Stuck_at_1 ]; p0 = 0.05; growth = 1.7;
+    noise = 0.02; repeats = 3; seed = 11 }
+
+let strip_wall (r : Lifetime.result) = { r with Lifetime.wall_seconds = 0.0 }
+
+let lifetime_tests =
+  [
+    case "rows and chips are bit-identical at jobs 1 and 4" (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let vectors = suite.Pipeline.vectors in
+        let r1 = Lifetime.run ~jobs:1 ~config:lifetime_config t ~vectors in
+        let r4 = Lifetime.run ~jobs:4 ~config:lifetime_config t ~vectors in
+        checkb "identical results" true (strip_wall r1 = strip_wall r4));
+    case "accounting is consistent" (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let r =
+          Lifetime.run ~config:lifetime_config t
+            ~vectors:suite.Pipeline.vectors
+        in
+        checki "epochs" 5 r.Lifetime.epochs;
+        checki "faulty partition" r.Lifetime.faulty
+          (r.Lifetime.detected + r.Lifetime.escapes);
+        checki "chips" (List.length r.Lifetime.chips)
+          lifetime_config.Lifetime.chips;
+        let last = List.nth r.Lifetime.rows (r.Lifetime.epochs - 1) in
+        checki "cumulative matches detections + false alarms"
+          (r.Lifetime.detected + r.Lifetime.false_alarms)
+          last.Lifetime.cumulative;
+        (* cumulative detections never decrease; fleets never grow *)
+        let rec monotone = function
+          | (a : Lifetime.epoch_row) :: (b : Lifetime.epoch_row) :: rest ->
+            checkb "cumulative monotone" true
+              (a.Lifetime.cumulative <= b.Lifetime.cumulative);
+            checkb "fleet shrinks" true (b.Lifetime.fleet <= a.Lifetime.fleet);
+            monotone (b :: rest)
+          | _ -> ()
+        in
+        monotone r.Lifetime.rows);
+    case "healthy fleet under ideal meters never alarms" (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let config =
+          { lifetime_config with Lifetime.fault_count = 0; noise = 0.0 }
+        in
+        let r = Lifetime.run ~config t ~vectors:suite.Pipeline.vectors in
+        checki "no faulty chips" 0 r.Lifetime.faulty;
+        checki "no detections" 0 r.Lifetime.detected;
+        checki "no false alarms" 0 r.Lifetime.false_alarms);
+    case "saturated wear detects every detectable chip at epoch 1" (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let config =
+          { lifetime_config with
+            Lifetime.p0 = 1.0; growth = 1.0; noise = 0.0; repeats = 1 }
+        in
+        let r = Lifetime.run ~config t ~vectors:suite.Pipeline.vectors in
+        (* With p = 1 the latent fault is permanently active from the first
+           epoch: anything ever detected is detected at epoch 1. *)
+        List.iter
+          (fun (c : Lifetime.chip) ->
+            match c.Lifetime.detected_at with
+            | Some e -> checki "epoch 1" 1 e
+            | None -> ())
+          r.Lifetime.chips;
+        checkb "some detections" true (r.Lifetime.detected > 0));
+    case "out-of-range configs are rejected" (fun () ->
+        let t, suite, _ = Lazy.force fixture in
+        let vectors = suite.Pipeline.vectors in
+        let raises config =
+          match Lifetime.run ~config t ~vectors with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        in
+        checkb "retest_every > wear_steps" true
+          (raises { lifetime_config with Lifetime.retest_every = 11 });
+        checkb "p0 out of range" true
+          (raises { lifetime_config with Lifetime.p0 = 1.5 });
+        checkb "zero chips" true
+          (raises { lifetime_config with Lifetime.chips = 0 }));
+  ]
+
+(* ---------- Bugfix regressions ---------- *)
+
+let cli = Filename.concat ".." (Filename.concat "bin" "fpva_cli.exe")
+
+let run_cli args = Sys.command (cli ^ " " ^ args ^ " >/dev/null 2>&1")
+
+let non_adjacent_pair t =
+  let nv = Fpva.num_valves t in
+  let pairs = Fault.adjacent_pairs t in
+  let adjacent a b = Array.exists (fun p -> p = (a, b)) pairs in
+  let found = ref None in
+  for a = 0 to nv - 1 do
+    for b = 0 to nv - 1 do
+      if !found = None && a <> b && not (adjacent a b) then
+        found := Some (a, b)
+    done
+  done;
+  !found
+
+let bugfix_tests =
+  [
+    case "non-adjacent control leak is invalid, adjacent is valid" (fun () ->
+        let t, _, _ = Lazy.force fixture in
+        let a, b = (Fault.adjacent_pairs t).(0) in
+        checkb "adjacent pair valid" true
+          (Fault.is_valid t (Fault.Control_leak (a, b)));
+        match non_adjacent_pair t with
+        | None -> Alcotest.fail "expected a non-adjacent pair on the 5x5"
+        | Some (x, y) ->
+          checkb "non-adjacent pair invalid" false
+            (Fault.is_valid t (Fault.Control_leak (x, y)));
+          (match Fault.validate t (Fault.Control_leak (x, y)) with
+          | Error msg ->
+            checkb "reason mentions the fluid cell" true
+              (String.length msg > 0)
+          | Ok () -> Alcotest.fail "validate accepted a non-adjacent leak"));
+    case "CLI rejects a non-adjacent leak spec with exit 2" (fun () ->
+        let t, _, _ = Lazy.force fixture in
+        match non_adjacent_pair t with
+        | None -> Alcotest.fail "expected a non-adjacent pair on the 5x5"
+        | Some (x, y) ->
+          checki "exit 2"
+            2
+            (run_cli (Printf.sprintf "diagnose -n 5 --inject leak:%d,%d" x y)));
+    case "CLI accepts an adjacent leak spec" (fun () ->
+        let t, _, _ = Lazy.force fixture in
+        let a, b = (Fault.adjacent_pairs t).(0) in
+        checki "exit 0" 0
+          (run_cli (Printf.sprintf "diagnose -n 5 --inject leak:%d,%d" a b)));
+    case "summarize refuses NaN like percentile" (fun () ->
+        (match Stats.summarize [| 1.0; Float.nan |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "summarize accepted NaN");
+        let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+        checkb "stddev" true (abs_float (s.Stats.stddev -. 1.0) < 1e-12));
+    case "rank rejects non-positive limits" (fun () ->
+        let t, suite, dict = Lazy.force fixture in
+        let syndrome =
+          Diagnosis.syndrome_of t ~vectors:suite.Pipeline.vectors
+            ~faults:[ Fault.Stuck_at_0 0 ]
+        in
+        (match Diagnosis.rank ~limit:0 dict syndrome with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "rank accepted limit 0");
+        match Diagnosis.rank ~limit:(-3) dict syndrome with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "rank accepted a negative limit");
+  ]
+
+let tests = sequential_tests @ lifetime_tests @ bugfix_tests

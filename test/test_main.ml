@@ -30,6 +30,7 @@ let () =
       ("noise", Suite_noise.tests);
       ("parallel", Suite_parallel.tests);
       ("trace", Suite_trace.tests);
+      ("sequential", Suite_sequential.tests);
       ("serve", Suite_serve.tests);
       ("properties", Suite_props.tests);
     ]
